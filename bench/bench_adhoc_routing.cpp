@@ -1,0 +1,177 @@
+// E10 — §E application: "a generic adaptive routing protocol for active
+// ad-hoc wireless networks" specified with the WLI model.
+//
+// Reproduction: mobile ships under random waypoint mobility; the WLI
+// adaptive router (control-shuttle discovery, fact-lifetime routes) is
+// compared against a frozen static router and the live-topology oracle.
+// Sweep: mobility speed. Metrics: delivery ratio, control overhead, route
+// discoveries.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/mobility.h"
+#include "net/topology.h"
+#include "services/routing.h"
+#include "sim/replica.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+enum class RouterKind { kAdaptive, kStatic, kOracle, kDistanceVector };
+
+struct TrialResult {
+  double delivery_ratio = 0.0;
+  double control_kib = 0.0;
+  double discoveries = 0.0;
+};
+
+TrialResult RunTrial(RouterKind kind, double speed_mps, std::uint64_t seed) {
+  constexpr std::size_t kShips = 20;
+  constexpr double kArena = 500.0;
+  constexpr double kRange = 170.0;
+  constexpr sim::Duration kHorizon = 30 * sim::kSecond;
+
+  sim::Simulator simulator;
+  net::Topology topology;
+  topology.AddNodes(kShips);
+
+  net::RandomWaypointMobility::Config mobility_config;
+  mobility_config.width_m = kArena;
+  mobility_config.height_m = kArena;
+  mobility_config.min_speed_mps = speed_mps > 0 ? speed_mps * 0.5 : 0.0;
+  mobility_config.max_speed_mps = std::max(speed_mps, 0.01);
+  mobility_config.pause_s = 0.5;
+  net::RandomWaypointMobility mobility(kShips, mobility_config, Rng(seed));
+
+  net::LinkConfig radio;
+  radio.bandwidth_bps = 11e6;
+  radio.latency = 2 * sim::kMillisecond;
+  net::AdhocManager adhoc(simulator, topology, std::move(mobility), kRange,
+                          500 * sim::kMillisecond, radio);
+
+  wli::WnConfig config;
+  wli::WanderingNetwork wn(simulator, topology, config, seed ^ 0x1111);
+  wn.PopulateAllNodes();
+
+  std::unique_ptr<services::AdaptiveAdHocRouter> adaptive;
+  std::unique_ptr<services::StaticRouter> frozen;
+  std::unique_ptr<services::DistanceVectorRouter> dv;
+  switch (kind) {
+    case RouterKind::kAdaptive: {
+      services::AdaptiveAdHocRouter::Config rc;
+      rc.route_lifetime = 2 * sim::kSecond;
+      adaptive = std::make_unique<services::AdaptiveAdHocRouter>(wn, rc);
+      break;
+    }
+    case RouterKind::kStatic:
+      frozen = std::make_unique<services::StaticRouter>(wn);
+      frozen->Install();
+      break;
+    case RouterKind::kDistanceVector: {
+      services::DistanceVectorRouter::Config dc;
+      dc.advertise_interval = 500 * sim::kMillisecond;
+      dc.route_lifetime = 2 * sim::kSecond;
+      dv = std::make_unique<services::DistanceVectorRouter>(wn, dc);
+      dv->Start(kHorizon);
+      break;
+    }
+    case RouterKind::kOracle:
+      break;  // default: live shortest-path per hop
+  }
+
+  int sent = 0, delivered = 0;
+  // Several concurrent flows between random (fixed) pairs.
+  Rng pairs(seed * 3 + 1);
+  std::vector<std::pair<net::NodeId, net::NodeId>> flows;
+  for (int f = 0; f < 4; ++f) {
+    net::NodeId a = static_cast<net::NodeId>(pairs.Index(kShips));
+    net::NodeId b = static_cast<net::NodeId>(pairs.Index(kShips));
+    if (a == b) b = (b + 1) % kShips;
+    flows.push_back({a, b});
+    wn.ship(b)->SetDeliverySink([&](wli::Ship&, const wli::Shuttle& s) {
+      if (s.header.kind == wli::ShuttleKind::kData) ++delivered;
+    });
+  }
+
+  adhoc.Start(kHorizon);
+  for (sim::TimePoint t = 0; t < kHorizon; t += 200 * sim::kMillisecond) {
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      simulator.ScheduleAt(t, [&, f] {
+        ++sent;
+        const auto [src, dst] = flows[f];
+        if (adaptive) {
+          (void)adaptive->Send(src, dst, {1}, f);
+        } else if (dv) {
+          (void)dv->Send(src, dst, {1}, f);
+        } else {
+          (void)wn.Inject(wli::Shuttle::Data(src, dst, {1}, f));
+        }
+      });
+    }
+  }
+  simulator.RunUntil(kHorizon);
+
+  TrialResult result;
+  result.delivery_ratio =
+      sent > 0 ? static_cast<double>(delivered) / sent : 0.0;
+  if (adaptive) {
+    result.control_kib = static_cast<double>(adaptive->control_bytes()) / 1024;
+    result.discoveries = static_cast<double>(adaptive->discoveries());
+  } else if (dv) {
+    result.control_kib = static_cast<double>(dv->control_bytes()) / 1024;
+  }
+  return result;
+}
+
+std::string Cell(const std::map<std::string, sim::AggregatedMetric>& agg,
+                 const char* name, int digits = 1, double scale = 1.0) {
+  return FormatDouble(agg.at(name).mean * scale, digits);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 / adaptive ad-hoc routing — 20 ships, 500m arena, 170m"
+              " range, 4 flows, 30 s (10 replicas per cell)\n\n");
+
+  TablePrinter table({"speed", "adaptive dlv%", "dv dlv%", "static dlv%",
+                      "oracle dlv%", "aodv ctl KiB", "dv ctl KiB",
+                      "discoveries"});
+  for (double speed : {0.0, 2.0, 6.0, 12.0, 20.0}) {
+    auto run = [speed](RouterKind kind) {
+      return sim::RunReplicas(
+          [kind, speed](std::size_t, std::uint64_t seed) {
+            const TrialResult r = RunTrial(kind, speed, seed);
+            return sim::ReplicaMetrics{{"dlv", r.delivery_ratio},
+                                       {"ctl", r.control_kib},
+                                       {"disc", r.discoveries}};
+          },
+          10, 9000 + static_cast<std::uint64_t>(speed * 10));
+    };
+    const auto adaptive = run(RouterKind::kAdaptive);
+    const auto dv = run(RouterKind::kDistanceVector);
+    const auto frozen = run(RouterKind::kStatic);
+    const auto oracle = run(RouterKind::kOracle);
+    table.AddRow({FormatDouble(speed, 0) + " m/s",
+                  Cell(adaptive, "dlv", 1, 100),
+                  Cell(dv, "dlv", 1, 100),
+                  Cell(frozen, "dlv", 1, 100),
+                  Cell(oracle, "dlv", 1, 100),
+                  Cell(adaptive, "ctl", 1),
+                  Cell(dv, "ctl", 1),
+                  Cell(adaptive, "disc", 1)});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nexpected shape: at 0 m/s all routers deliver equally; as"
+              " speed grows the static router collapses (stale tables)."
+              " The reactive router tracks the oracle paying churn-"
+              "proportional control; proactive DV also adapts but pays a"
+              " constant advertisement cost and lags behind at high churn"
+              " (route staleness up to its advertisement period).\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E19 — protocol boosters head-to-head (§D Boosting class; the author's
+// MediaPEP [15] is an "Internet Protocol Booster").
+//
+// The same lossy segment, three strategies: nothing, FEC (parity
+// bandwidth), ARQ (retransmission round trips). Sweep the loss rate and
+// report delivery ratio, bandwidth overhead on the segment and delivery
+// latency — the classic FEC/ARQ trade the boosting literature describes.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "services/boosting.h"
+#include "sim/replica.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+enum class Strategy { kNone, kFec, kArq };
+
+struct BoostOutcome {
+  double delivery = 0.0;
+  double segment_bytes = 0.0;   // bytes over the lossy link
+  double mean_latency_ms = 0.0;
+};
+
+BoostOutcome RunTrial(Strategy strategy, double loss, std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  topology.AddNodes(4);
+  net::LinkConfig clean;
+  clean.latency = 5 * sim::kMillisecond;
+  net::LinkConfig lossy = clean;
+  lossy.loss_probability = loss;
+  topology.AddLink(0, 1, clean);
+  topology.AddLink(1, 2, lossy);   // the boosted segment (link id 1)
+  topology.AddLink(2, 3, clean);
+
+  wli::WnConfig config;
+  wli::WanderingNetwork wn(simulator, topology, config, seed);
+  wn.PopulateAllNodes();
+
+  int delivered = 0;
+  double latency_sum_ms = 0.0;
+  std::map<std::int64_t, sim::TimePoint> sent_at;
+  wn.ship(3)->SetDeliverySink([&](wli::Ship&, const wli::Shuttle& s) {
+    if (s.header.kind != wli::ShuttleKind::kData || s.payload.empty()) return;
+    ++delivered;
+    const auto it = sent_at.find(s.payload[0]);
+    if (it != sent_at.end()) {
+      latency_sum_ms +=
+          sim::ToSeconds(simulator.now() - it->second) * 1e3;
+    }
+  });
+
+  services::FecBooster::Config fec_config;
+  fec_config.ingress = 1;
+  fec_config.egress = 2;
+  fec_config.final_destination = 3;
+  services::ArqBooster::Config arq_config;
+  arq_config.ingress = 1;
+  arq_config.egress = 2;
+  arq_config.final_destination = 3;
+  std::unique_ptr<services::FecBooster> fec;
+  std::unique_ptr<services::ArqBooster> arq;
+  if (strategy == Strategy::kFec) {
+    fec = std::make_unique<services::FecBooster>(wn, fec_config);
+  } else if (strategy == Strategy::kArq) {
+    arq = std::make_unique<services::ArqBooster>(wn, arq_config);
+  }
+
+  constexpr int kWords = 200;
+  for (int i = 0; i < kWords; ++i) {
+    simulator.ScheduleAt(i * 10 * sim::kMillisecond, [&, i] {
+      sent_at[i] = simulator.now();
+      switch (strategy) {
+        case Strategy::kNone:
+          (void)wn.Inject(wli::Shuttle::Data(1, 3, {i}, 1));
+          break;
+        case Strategy::kFec:
+          (void)fec->SendData(1, i);
+          break;
+        case Strategy::kArq:
+          (void)arq->SendData(1, i);
+          break;
+      }
+    });
+  }
+  simulator.RunAll();
+
+  BoostOutcome out;
+  out.delivery = static_cast<double>(delivered) / kWords;
+  out.segment_bytes = static_cast<double>(wn.fabric().link_bytes()[1]);
+  out.mean_latency_ms = delivered > 0 ? latency_sum_ms / delivered : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E19 / protocol boosters — 200 words over a lossy segment"
+              " (10 replicas per cell)\n\n");
+  TablePrinter table({"loss", "strategy", "delivery", "segment bytes",
+                      "mean latency"});
+  for (double loss : {0.05, 0.15, 0.30}) {
+    for (Strategy strategy :
+         {Strategy::kNone, Strategy::kFec, Strategy::kArq}) {
+      const char* name = strategy == Strategy::kNone
+                             ? "none"
+                             : (strategy == Strategy::kFec ? "FEC" : "ARQ");
+      const auto agg = sim::RunReplicas(
+          [strategy, loss](std::size_t, std::uint64_t seed) {
+            const BoostOutcome o = RunTrial(strategy, loss, seed);
+            return sim::ReplicaMetrics{{"dlv", o.delivery},
+                                       {"bytes", o.segment_bytes},
+                                       {"lat", o.mean_latency_ms}};
+          },
+          10, 5100 + static_cast<std::uint64_t>(loss * 100));
+      table.AddRow({FormatDouble(loss * 100, 0) + "%", name,
+                    FormatDouble(agg.at("dlv").mean * 100, 1) + "%",
+                    FormatBytes(static_cast<std::uint64_t>(
+                        agg.at("bytes").mean)),
+                    FormatDouble(agg.at("lat").mean, 1) + " ms"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nexpected shape: unboosted delivery tracks (1-loss). FEC"
+              " recovers single losses per block for fixed overhead (parity"
+              " + framing) and a fixed block-assembly delay, but degrades"
+              " at high loss (multi-loss blocks). ARQ approaches 100%%"
+              " delivery at every loss rate, with segment bytes and"
+              " retransmission latency growing with loss.\n");
+  return 0;
+}

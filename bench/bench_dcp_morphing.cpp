@@ -1,0 +1,125 @@
+// E14 — Dualistic Congruence Principle: morphing packets and a-priori ship
+// adaptation.
+//
+// "A shuttle approaching a ship can re-configure itself becoming a morphing
+// packet to provide the desired interface and match a ship's requirements"
+// — and symmetrically the ship "can adapt (itself) a priori ... to
+// best-match the structure of the active packets at the time of delivery."
+//
+// Reproduction: (a) dock success and morph overhead vs how many ship
+// classes require distinct interfaces and which adapters exist; (b) the
+// ship-side congruence score under stable vs shifting vs mixed traffic —
+// a correct prediction waives the adaptation cost.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/dcp.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+int main() {
+  std::printf("E14 / dualistic congruence — morphing packets and ship-side"
+              " congruence\n\n");
+
+  // (a) Interface diversity sweep on one network.
+  {
+    TablePrinter table({"class interfaces", "adapters", "docked",
+                        "rejected", "morphs", "morph bytes"});
+    struct Scenario {
+      const char* label;
+      int interfaces;     // distinct required interfaces over 3 classes
+      bool adapters;      // register adapters for them?
+    };
+    const Scenario scenarios[] = {
+        {"uniform (all default)", 1, false},
+        {"3 interfaces, no adapters", 3, false},
+        {"3 interfaces, full adapters", 3, true},
+    };
+    for (const auto& scenario : scenarios) {
+      sim::Simulator simulator;
+      net::Topology topology = net::MakeStar(4);
+      wli::WnConfig config;
+      wli::WanderingNetwork wn(simulator, topology, config, 21);
+      // One ship per class around the hub.
+      wn.AddShip(0, node::ShipClass::kAgent);
+      wn.AddShip(1, node::ShipClass::kServer);
+      wn.AddShip(2, node::ShipClass::kClient);
+      wn.AddShip(3, node::ShipClass::kAgent);
+      if (scenario.interfaces > 1) {
+        wn.morphing().SetRequiredInterface(node::ShipClass::kServer, 1);
+        wn.morphing().SetRequiredInterface(node::ShipClass::kClient, 2);
+        wn.morphing().SetRequiredInterface(node::ShipClass::kAgent, 3);
+      }
+      if (scenario.adapters) {
+        for (wli::InterfaceId to : {1u, 2u, 3u}) {
+          wn.morphing().AddAdapter(0, to, 16, 20 * sim::kMicrosecond);
+        }
+      }
+      std::uint64_t docked = 0;
+      wn.ForEachShip([&](wli::Ship& ship) {
+        ship.SetDeliverySink(
+            [&docked](wli::Ship&, const wli::Shuttle&) { ++docked; });
+      });
+      // 30 shuttles from the hub to each class of ship. The sender did not
+      // "arrange the procedure for the shuttle" — morphing must do it.
+      for (int i = 0; i < 30; ++i) {
+        for (net::NodeId dst : {1u, 2u, 3u}) {
+          wli::Shuttle s = wli::Shuttle::Data(0, dst, {i}, dst);
+          s.header.dest_class_hint =
+              dst == 1 ? node::ShipClass::kServer
+                       : (dst == 2 ? node::ShipClass::kClient
+                                   : node::ShipClass::kAgent);
+          (void)wn.Inject(std::move(s));
+        }
+      }
+      simulator.RunAll();
+      const auto morphs = wn.stats().CounterValue("wn.morphs");
+      table.AddRow({scenario.label, scenario.adapters ? "yes" : "no",
+                    std::to_string(docked),
+                    std::to_string(
+                        wn.stats().CounterValue("wn.dock_rejected")),
+                    std::to_string(morphs),
+                    FormatBytes(morphs * 16)});
+    }
+    std::printf("(a) 90 shuttles to 3 ship classes\n");
+    table.Print(std::cout);
+  }
+
+  // (b) Congruence score vs traffic stability.
+  {
+    TablePrinter table({"traffic pattern", "congruence score",
+                        "predicted iface", "adaptation waived"});
+    struct Pattern {
+      const char* label;
+      std::function<wli::InterfaceId(int)> iface;
+    };
+    const Pattern patterns[] = {
+        {"stable (all iface 2)", [](int) { return 2u; }},
+        {"shift at half (1 -> 3)", [](int i) { return i < 100 ? 1u : 3u; }},
+        {"uniform mix of 4", [](int i) { return static_cast<wli::InterfaceId>(i % 4); }},
+    };
+    for (const auto& pattern : patterns) {
+      wli::CongruenceTracker tracker(0.15);
+      int waived = 0;
+      for (int i = 0; i < 200; ++i) {
+        waived += tracker.Observe(pattern.iface(i));
+      }
+      table.AddRow({pattern.label, FormatDouble(tracker.score(), 3),
+                    std::to_string(tracker.predicted()),
+                    std::to_string(waived) + "/200"});
+    }
+    std::printf("\n(b) ship-side a-priori adaptation (EWMA congruence)\n");
+    table.Print(std::cout);
+  }
+
+  std::printf("\nexpected shape: without adapters, heterogeneous interfaces"
+              " reject every mismatched dock; adapters restore delivery at"
+              " a fixed byte/latency cost; congruence is ~1 for stable"
+              " traffic, recovers after a shift, and stays low for mixed"
+              " traffic (no structure to predict).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E2 — Figure 1: "A Wandering Network" — an evolutionary, always-under-
+// construction network where node shapes (functions) change over time.
+//
+// Reproduction: a 32-ship random network under a workload whose demand
+// hotspots rotate across roles and regions every epoch. The series reported
+// is the quantitative counterpart of the figure: role census, Shannon role
+// diversity, migrations and emerged functions per epoch.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+int main() {
+  constexpr std::size_t kShips = 32;
+  constexpr int kEpochs = 10;
+  const sim::Duration kEpoch = sim::kSecond;
+
+  sim::Simulator simulator;
+  Rng rng(2002);
+  net::Topology topology = net::MakeRandom(kShips, 0.12, rng);
+
+  wli::WnConfig config;
+  config.pulse_interval = 250 * sim::kMillisecond;
+  config.horizontal.hysteresis = 1.3;
+  config.resonance.min_support = 4;
+  wli::WanderingNetwork wn(simulator, topology, config, 2002);
+  wn.PopulateAllNodes();
+
+  // Seed one function per first-level role at random hosts.
+  for (int r = 0; r < static_cast<int>(node::FirstLevelRole::kRoleCount);
+       ++r) {
+    wli::NetFunction fn;
+    fn.role = static_cast<node::FirstLevelRole>(r);
+    fn.name = std::string(node::FirstLevelRoleName(fn.role));
+    wn.DeployFunction(static_cast<net::NodeId>(rng.Index(kShips)), fn);
+  }
+
+  // Workload: each epoch picks a hot region and a hot role; ships there see
+  // demand and share correlated facts (driving resonance).
+  Rng workload_rng = rng.Fork();
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    simulator.ScheduleAt(epoch * kEpoch, [&wn, &workload_rng, epoch] {
+      const auto role = static_cast<node::FirstLevelRole>(
+          workload_rng.Index(static_cast<std::size_t>(
+              node::FirstLevelRole::kRoleCount)));
+      const auto center =
+          static_cast<net::NodeId>(workload_rng.Index(kShips));
+      // Demand pulse at the hot node and its neighborhood.
+      for (int burst = 0; burst < 30; ++burst) {
+        wn.demand().Record(center, role, 1.0);
+      }
+      for (net::NodeId n : wn.topology().Neighbors(center)) {
+        for (int burst = 0; burst < 10; ++burst) {
+          wn.demand().Record(n, role, 1.0);
+        }
+        // Correlated facts across the neighborhood (network resonance).
+        const wli::FactKey base = 1000 + epoch * 10;
+        for (int rep = 0; rep < 8; ++rep) {
+          wn.ship(n)->facts().Touch(base, epoch, 4.0,
+                                    wn.simulator().now());
+          wn.ship(n)->facts().Touch(base + 1, epoch, 4.0,
+                                    wn.simulator().now());
+        }
+      }
+    });
+  }
+
+  std::printf("E2 / Figure 1 — functional evolution of a %zu-ship wandering"
+              " network over %d epochs\n\n",
+              kShips, kEpochs);
+  TablePrinter table({"epoch", "diversity(bits)", "roles-active",
+                      "migrations", "emerged-fns", "facts-expired",
+                      "overlays"});
+
+  wn.StartPulse(kEpochs * kEpoch);
+  std::uint64_t last_migrations = 0;
+  std::uint64_t last_emerged = 0;
+  std::uint64_t last_expired = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    simulator.RunUntil((epoch + 1) * kEpoch);
+    const auto census = wn.RoleCensus();
+    std::size_t active_roles = 0;
+    for (const auto& [role, count] : census) active_roles += count > 0;
+    const std::uint64_t migrations = wn.migrations_executed();
+    const std::uint64_t emerged = wn.functions_emerged();
+    const std::uint64_t expired =
+        wn.stats().CounterValue("wn.facts_expired");
+    table.AddRow({std::to_string(epoch),
+                  FormatDouble(wn.RoleDiversity(), 3),
+                  std::to_string(active_roles),
+                  std::to_string(migrations - last_migrations),
+                  std::to_string(emerged - last_emerged),
+                  std::to_string(expired - last_expired),
+                  std::to_string(wn.overlays().overlays().size())});
+    last_migrations = migrations;
+    last_emerged = emerged;
+    last_expired = expired;
+  }
+  table.Print(std::cout);
+
+  std::printf("\nfinal role census:\n");
+  for (const auto& [role, count] : wn.RoleCensus()) {
+    std::printf("  %-12s %zu ships\n",
+                std::string(node::FirstLevelRoleName(role)).c_str(), count);
+  }
+  std::printf("\nexpected shape: diversity grows from 0 (uniform caching"
+              " default) and the census keeps shifting — the network is"
+              " 'always under construction'.\n");
+  return 0;
+}

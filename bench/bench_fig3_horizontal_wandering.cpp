@@ -1,0 +1,143 @@
+// E4 — Figure 3: horizontal (inter-node) network wandering — functional
+// specialization follows demand across the physical network over time,
+// creating "virtual outstanding networks".
+//
+// Reproduction: an 8-node line hosts one fusion function. The demand
+// hotspot moves from node 1 to node 6 over 6 epochs. With wandering on
+// (4G), the function migrates after the hotspot; with wandering off, it
+// stays put. We report, per epoch, the function's host and the mean service
+// round-trip time from the hotspot — the quantitative content of Figure 3.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+constexpr std::int64_t kEchoRequest = 1;
+constexpr std::int64_t kEchoReply = 2;
+
+struct EpochSample {
+  net::NodeId hotspot;
+  net::NodeId host;
+  double rtt_ms;
+};
+
+std::vector<EpochSample> Run(bool wandering) {
+  sim::Simulator simulator;
+  net::LinkConfig link;
+  link.latency = 5 * sim::kMillisecond;
+  net::Topology topology = net::MakeLine(8, link);
+  wli::WnConfig config;
+  config.generation = 4;
+  config.enable_horizontal = wandering;
+  config.pulse_interval = 100 * sim::kMillisecond;
+  config.horizontal.hysteresis = 1.2;
+  wli::WanderingNetwork wn(simulator, topology, config, 7);
+  wn.PopulateAllNodes();
+
+  // Echo service: whichever ship holds the fusion role answers requests.
+  wn.ForEachShip([](wli::Ship& ship) {
+    ship.SetRoleHandler(
+        node::FirstLevelRole::kFusion,
+        [](wli::Ship& host, const wli::Shuttle& shuttle) {
+          if (shuttle.payload.size() < 2 ||
+              shuttle.payload[0] != kEchoRequest) {
+            return;
+          }
+          (void)host.SendShuttle(wli::Shuttle::Data(
+              host.id(), shuttle.header.source,
+              {kEchoReply, shuttle.payload[1]}, shuttle.header.flow_id));
+        });
+  });
+
+  wli::NetFunction fn;
+  fn.name = "fusion-service";
+  fn.role = node::FirstLevelRole::kFusion;
+  const auto fn_id = wn.DeployFunction(1, fn);
+
+  sim::TimePoint reply_at = 0;
+  wn.ForEachShip([&](wli::Ship& ship) {
+    ship.SetDeliverySink([&](wli::Ship&, const wli::Shuttle& s) {
+      if (!s.payload.empty() && s.payload[0] == kEchoReply) {
+        reply_at = simulator.now();
+      }
+    });
+  });
+
+  wn.StartPulse(100 * sim::kSecond);
+  std::vector<EpochSample> samples;
+  const net::NodeId hotspots[] = {1, 2, 3, 4, 5, 6};
+  for (net::NodeId hotspot : hotspots) {
+    // Demand at the hotspot across the epoch (several pulses see it).
+    for (int burst = 0; burst < 4; ++burst) {
+      simulator.ScheduleAfter(burst * 120 * sim::kMillisecond, [&wn, hotspot] {
+        for (int i = 0; i < 25; ++i) {
+          wn.demand().Record(hotspot, node::FirstLevelRole::kFusion, 1.0);
+        }
+      });
+    }
+    simulator.RunUntil(simulator.now() + 600 * sim::kMillisecond);
+
+    // Measure service RTT from the hotspot to the current host.
+    const net::NodeId host = wn.placements().at(fn_id);
+    double rtt_ms = 0.0;
+    if (host == hotspot) {
+      rtt_ms = 0.0;
+    } else {
+      const sim::TimePoint sent = simulator.now();
+      (void)wn.Inject(wli::Shuttle::Data(hotspot, host,
+                                         {kEchoRequest, 1}, 99));
+      simulator.RunAll();
+      rtt_ms = sim::ToSeconds(reply_at - sent) * 1e3;
+    }
+    samples.push_back({hotspot, host, rtt_ms});
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  const auto wandering = Run(true);
+  const auto pinned = Run(false);
+
+  std::printf("E4 / Figure 3 — horizontal wandering: a fusion function"
+              " follows a moving demand hotspot on an 8-node line\n\n");
+  TablePrinter table({"epoch", "hotspot", "host(wander)", "rtt(wander)",
+                      "host(static)", "rtt(static)"});
+  for (std::size_t e = 0; e < wandering.size(); ++e) {
+    table.AddRow({std::to_string(e),
+                  "node " + std::to_string(wandering[e].hotspot),
+                  "node " + std::to_string(wandering[e].host),
+                  FormatDouble(wandering[e].rtt_ms, 1) + " ms",
+                  "node " + std::to_string(pinned[e].host),
+                  FormatDouble(pinned[e].rtt_ms, 1) + " ms"});
+  }
+  table.Print(std::cout);
+
+  double wander_total = 0, pinned_total = 0;
+  for (std::size_t e = 0; e < wandering.size(); ++e) {
+    wander_total += wandering[e].rtt_ms;
+    pinned_total += pinned[e].rtt_ms;
+  }
+  if (wander_total < 0.1) {
+    std::printf("\ncumulative service RTT: wandering ~0 ms (host colocated"
+                " with hotspot every epoch) vs static %.1f ms\n",
+                pinned_total);
+  } else {
+    std::printf("\ncumulative service RTT: wandering %.1f ms vs static"
+                " %.1f ms (%.1fx better)\n",
+                wander_total, pinned_total, pinned_total / wander_total);
+  }
+  std::printf("expected shape: the wandering host tracks the hotspot, so"
+              " its RTT stays near zero while the static host's RTT grows"
+              " linearly with hotspot distance.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E18 — §E wandering-function statistics: functions "wander and settle
+// down in other hosts, thus creating a valuable statistics about the
+// frequency of usage of wandering functions in the network. The results
+// obtained after a careful evaluation of this data can be used for the
+// design of new network architectures."
+//
+// (a) The ledger's evaluation output for a wandering fusion service under a
+// rotating hotspot: visit counts, dwell times and the per-host usage
+// distribution — i.e. *where work actually happened*, the input the paper
+// says future topology design should consume.
+// (b) Pulse-interval ablation: the metamorphosis cadence trades adaptation
+// lag (off-host service time) against migration/transfer overhead.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+struct AblationOutcome {
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_bytes = 0;
+  double colocated_fraction = 0.0;  // requests served at the hotspot
+  std::size_t visits = 0;
+  sim::Duration mean_dwell = 0;
+};
+
+AblationOutcome Run(sim::Duration pulse_interval, bool wandering,
+                    wli::FunctionUsageLedger* ledger_out = nullptr,
+                    wli::FunctionId* id_out = nullptr) {
+  sim::Simulator simulator;
+  net::LinkConfig link;
+  link.latency = 5 * sim::kMillisecond;
+  net::Topology topology = net::MakeRing(8, link);
+  wli::WnConfig config;
+  config.pulse_interval = pulse_interval;
+  config.enable_horizontal = wandering;
+  config.horizontal.hysteresis = 1.2;
+  wli::WanderingNetwork wn(simulator, topology, config, 19);
+  wn.PopulateAllNodes();
+
+  wli::NetFunction fn;
+  fn.name = "wandering-fusion";
+  fn.role = node::FirstLevelRole::kFusion;
+  const auto id = wn.DeployFunction(0, fn);
+
+  // Rotating hotspot: every second the demand (and the request source)
+  // moves two nodes around the ring; requests go to the current host.
+  std::uint64_t requests = 0;
+  std::uint64_t colocated = 0;
+  constexpr int kEpochs = 8;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const net::NodeId hotspot = static_cast<net::NodeId>((epoch * 2) % 8);
+    for (int burst = 0; burst < 8; ++burst) {
+      simulator.ScheduleAt(epoch * sim::kSecond +
+                               burst * 100 * sim::kMillisecond,
+                           [&wn, hotspot, &requests, &colocated, id] {
+        for (int i = 0; i < 5; ++i) {
+          wn.demand().Record(hotspot, node::FirstLevelRole::kFusion, 1.0);
+        }
+        const auto placed = wn.placements().find(id);
+        if (placed == wn.placements().end()) return;
+        ++requests;
+        colocated += placed->second == hotspot;
+        (void)wn.Inject(wli::Shuttle::Data(hotspot, placed->second,
+                                           {1}, 7));
+      });
+    }
+  }
+  wn.StartPulse(kEpochs * sim::kSecond);
+  simulator.RunUntil(kEpochs * sim::kSecond);
+
+  AblationOutcome out;
+  out.migrations = wn.migrations_executed();
+  // Approximate transfer overhead: migration carriers are the code shuttles
+  // counted by the started-migrations counter times genome size (~150 B).
+  out.migration_bytes = out.migrations * 150;
+  out.colocated_fraction =
+      requests == 0 ? 0.0
+                    : static_cast<double>(colocated) /
+                          static_cast<double>(requests);
+  out.visits = wn.ledger().VisitCount(id);
+  out.mean_dwell = wn.ledger().MeanDwell(id, simulator.now());
+  if (ledger_out != nullptr) *ledger_out = wn.ledger();
+  if (id_out != nullptr) *id_out = id;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E18 / wandering-function usage statistics (8-ring, hotspot"
+              " rotating every second for 8 s)\n\n");
+
+  // (a) The ledger's evaluation view for one wandering run.
+  {
+    wli::FunctionUsageLedger ledger;
+    wli::FunctionId id = 0;
+    (void)Run(250 * sim::kMillisecond, true, &ledger, &id);
+    std::printf("(a) host-episode history of the wandering fusion"
+                " function\n");
+    TablePrinter table({"episode", "host", "dwell", "uses"});
+    const auto* episodes = ledger.EpisodesOf(id);
+    int index = 0;
+    for (const auto& episode : *episodes) {
+      const sim::TimePoint end =
+          episode.to == 0 ? 8 * sim::kSecond : episode.to;
+      table.AddRow({std::to_string(index++),
+                    "node " + std::to_string(episode.host),
+                    FormatNanos(end - episode.from),
+                    std::to_string(episode.uses)});
+    }
+    table.Print(std::cout);
+    std::printf("    visits=%zu  mean dwell=%s  busiest host=node %u\n",
+                ledger.VisitCount(id),
+                FormatNanos(ledger.MeanDwell(id, 8 * sim::kSecond)).c_str(),
+                ledger.MostUsedHost(id));
+  }
+
+  // (b) Pulse-interval ablation.
+  {
+    std::printf("\n(b) metamorphosis cadence ablation\n");
+    TablePrinter table({"pulse interval", "migrations", "xfer bytes",
+                        "colocated req", "mean dwell"});
+    const AblationOutcome off = Run(250 * sim::kMillisecond, false);
+    table.AddRow({"wandering off", std::to_string(off.migrations),
+                  FormatBytes(off.migration_bytes),
+                  FormatDouble(off.colocated_fraction * 100, 1) + "%",
+                  FormatNanos(off.mean_dwell)});
+    for (sim::Duration interval :
+         {2 * sim::kSecond, sim::kSecond, 250 * sim::kMillisecond,
+          100 * sim::kMillisecond}) {
+      const AblationOutcome out = Run(interval, true);
+      table.AddRow({FormatNanos(interval), std::to_string(out.migrations),
+                    FormatBytes(out.migration_bytes),
+                    FormatDouble(out.colocated_fraction * 100, 1) + "%",
+                    FormatNanos(out.mean_dwell)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\nexpected shape: faster pulses track the hotspot better"
+              " (higher colocated fraction, shorter dwell) at the cost of"
+              " more migrations/transfer bytes; wandering-off serves almost"
+              " everything remotely.\n");
+  return 0;
+}

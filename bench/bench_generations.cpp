@@ -1,0 +1,162 @@
+// E12 — §B: the four generations of Wandering Networks.
+//
+//   1G: programmable at the EE layer only (classical AN).
+//   2G: + NodeOS-layer programmability (ANON, Tempest, Genesis).
+//   3G: + gate-level hardware reconfiguration (no prior system, per paper).
+//   4G: + adaptive self-distribution and replication (Viator).
+//
+// Reproduction: an identical workload — shifting demand hotspot, code
+// install, hardware module request, jet injection — runs on each
+// generation; the table shows which capabilities engage and what that does
+// to adaptation (service RTT after the hotspot moves).
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "vm/assembler.h"
+
+using namespace viator;
+
+namespace {
+
+struct GenerationOutcome {
+  bool code_installed = false;
+  bool hardware_ok = false;
+  bool jet_ran = false;
+  std::uint64_t migrations = 0;
+  double post_shift_rtt_ms = 0.0;
+};
+
+constexpr std::int64_t kEchoRequest = 1;
+constexpr std::int64_t kEchoReply = 2;
+
+GenerationOutcome Run(int generation) {
+  sim::Simulator simulator;
+  net::LinkConfig link;
+  link.latency = 5 * sim::kMillisecond;
+  net::Topology topology = net::MakeLine(8, link);
+  wli::WnConfig config;
+  config.generation = generation;
+  config.pulse_interval = 100 * sim::kMillisecond;
+  config.horizontal.hysteresis = 1.2;
+  wli::WanderingNetwork wn(simulator, topology, config, 55);
+  wn.PopulateAllNodes();
+
+  GenerationOutcome out;
+
+  // Echo service handler everywhere (host answers requests).
+  wn.ForEachShip([](wli::Ship& ship) {
+    ship.SetRoleHandler(
+        node::FirstLevelRole::kFusion,
+        [](wli::Ship& host, const wli::Shuttle& shuttle) {
+          if (shuttle.payload.size() < 2 ||
+              shuttle.payload[0] != kEchoRequest) {
+            return;
+          }
+          (void)host.SendShuttle(wli::Shuttle::Data(
+              host.id(), shuttle.header.source,
+              {kEchoReply, shuttle.payload[1]}, shuttle.header.flow_id));
+        });
+  });
+
+  // 1) Code install via shuttle (1G+ capability).
+  auto program = vm::Assemble("svc", "push 1\nsys emit\nhalt\n");
+  wli::Shuttle code;
+  code.header.source = 0;
+  code.header.destination = 2;
+  code.header.kind = wli::ShuttleKind::kCode;
+  code.code_image = program->Serialize();
+  (void)wn.Inject(std::move(code));
+  simulator.RunAll();
+  out.code_installed =
+      wn.ship(2)->os().code_cache().Contains(program->digest());
+
+  // 2) Hardware module request (3G+).
+  node::HardwareModule module{1, "accel",
+                              node::SecondLevelClass::kTranscoding, 10000,
+                              4.0, 0};
+  out.hardware_ok = wn.ship(2)
+                        ->os()
+                        .RequestRoleSwitch(
+                            node::FirstLevelRole::kFusion,
+                            node::SwitchMechanism::kHardwareReconfig)
+                        .ok();
+  (void)module;
+
+  // 3) Jet (4G self-replication).
+  auto jet_code = vm::Assemble("jet", "push 1\nsys emit\nhalt\n");
+  (void)wn.PublishProgram(*jet_code, 0);
+  wli::Shuttle jet;
+  jet.header.source = 0;
+  jet.header.destination = 1;
+  jet.header.kind = wli::ShuttleKind::kJet;
+  jet.code_digest = jet_code->digest();
+  jet.code_image = jet_code->Serialize();
+  jet.replication_budget = 2;
+  (void)wn.Inject(std::move(jet));
+  simulator.RunAll();
+  out.jet_ran = wn.stats().CounterValue("wn.jet_refused") == 0;
+
+  // 4) Adaptive self-distribution: fusion service deployed at node 1,
+  // hotspot moves to node 6; only 4G migrates.
+  wli::NetFunction fn;
+  fn.name = "fusion-svc";
+  fn.role = node::FirstLevelRole::kFusion;
+  const auto fid = wn.DeployFunction(1, fn);
+  wn.StartPulse(100 * sim::kSecond);
+  for (int burst = 0; burst < 5; ++burst) {
+    simulator.ScheduleAfter(burst * 120 * sim::kMillisecond, [&wn] {
+      for (int i = 0; i < 25; ++i) {
+        wn.demand().Record(6, node::FirstLevelRole::kFusion, 1.0);
+      }
+    });
+  }
+  simulator.RunUntil(simulator.now() + sim::kSecond);
+  out.migrations = wn.migrations_executed();
+
+  sim::TimePoint reply_at = 0;
+  wn.ship(6)->SetDeliverySink([&](wli::Ship&, const wli::Shuttle& s) {
+    if (!s.payload.empty() && s.payload[0] == kEchoReply) {
+      reply_at = simulator.now();
+    }
+  });
+  const net::NodeId host = wn.placements().at(fid);
+  const sim::TimePoint sent = simulator.now();
+  if (host == 6) {
+    out.post_shift_rtt_ms = 0.0;
+  } else {
+    (void)wn.Inject(wli::Shuttle::Data(6, host, {kEchoRequest, 1}, 42));
+    simulator.RunAll();
+    out.post_shift_rtt_ms = sim::ToSeconds(reply_at - sent) * 1e3;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12 / Wandering Network generations — identical workload,"
+              " capability gating per generation\n\n");
+  TablePrinter table({"generation", "code install", "hw reconfig",
+                      "jets", "migrations", "post-shift RTT"});
+  const char* labels[] = {"1G (classic AN)", "2G (ANON/Tempest/Genesis)",
+                          "3G (+hw reconfig)", "4G (Viator)"};
+  for (int generation = 1; generation <= 4; ++generation) {
+    const auto out = Run(generation);
+    table.AddRow({labels[generation - 1],
+                  out.code_installed ? "yes" : "refused",
+                  out.hardware_ok ? "yes" : "refused",
+                  out.jet_ran ? "yes" : "refused",
+                  std::to_string(out.migrations),
+                  FormatDouble(out.post_shift_rtt_ms, 1) + " ms"});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nexpected shape: capabilities accrete monotonically with"
+              " generation; only 4G migrates the function after the demand"
+              " shift, collapsing the service RTT.\n");
+  return 0;
+}

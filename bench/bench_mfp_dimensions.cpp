@@ -1,0 +1,129 @@
+// E15 — Multidimensional Feedback Principle ablation.
+//
+// §C argues that active networks open many interoperating feedback
+// dimensions (per-node, per-session, per-packet, ...). This harness runs a
+// congested media pipeline with two real regulation loops —
+//   per-session : the transcoder degrades quality when its egress backs up,
+//   per-node    : a source-rate AIMD throttle driven by workload telemetry,
+// — and ablates the dimensions one at a time through the feedback bus.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/mfp.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "services/security_mgmt.h"
+#include "services/transcoding.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t queue_drops = 0;
+  std::uint64_t delivered = 0;
+  double final_quality = 1.0;
+  double min_rate = 1.0;
+};
+
+Outcome Run(bool per_session_on, bool per_node_on) {
+  sim::Simulator simulator;
+  net::Topology topology;
+  topology.AddNodes(4);
+  net::LinkConfig fast;
+  net::LinkConfig slow;
+  slow.bandwidth_bps = 256 * 1024;          // 32 KiB/s bottleneck
+  slow.queue_capacity_bytes = 16 * 1024;    // small buffer: drops visible
+  topology.AddLink(0, 1, fast);
+  topology.AddLink(1, 2, slow);
+  topology.AddLink(2, 3, slow);
+
+  wli::WnConfig config;
+  wli::WanderingNetwork wn(simulator, topology, config, 61);
+  wn.PopulateAllNodes();
+  wn.feedback().EnableDimension(wli::FeedbackDimension::kPerSession,
+                                per_session_on);
+  wn.feedback().EnableDimension(wli::FeedbackDimension::kPerNode,
+                                per_node_on);
+
+  services::TranscodingService::Config transcoder_config;
+  transcoder_config.sink = 3;
+  transcoder_config.congestion_backlog_bytes = 4 * 1024;
+  services::TranscodingService transcoder(wn, 1, transcoder_config);
+
+  services::WorkloadMonitor monitor(wn, 100 * sim::kMillisecond);
+  monitor.Start(20 * sim::kSecond);
+
+  // Per-node loop: AIMD send-probability throttle at the source.
+  wli::AimdRate source_rate(1.0, 0.1, 1.0, 0.05, 0.6);
+  double min_rate = 1.0;
+  wn.feedback().Subscribe(
+      wli::FeedbackDimension::kPerNode,
+      [&source_rate, &min_rate](const wli::FeedbackSignal& signal) {
+        if (signal.origin != 1) return;  // watch the transcoder node
+        if (signal.value > 4 * 1024) {
+          source_rate.OnCongestion();
+        } else {
+          source_rate.OnSuccess();
+        }
+        min_rate = std::min(min_rate, source_rate.rate());
+      });
+
+  std::uint64_t delivered = 0;
+  wn.ship(3)->SetDeliverySink(
+      [&delivered](wli::Ship&, const wli::Shuttle&) { ++delivered; });
+
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    // Offered load ~1.6x the bottleneck capacity: 1 KiB frames every 20 ms.
+    simulator.ScheduleAt(i * 20 * sim::kMillisecond, [&, i] {
+      if (!rng.Bernoulli(source_rate.rate())) return;  // throttled
+      std::vector<std::int64_t> media(128, i);
+      (void)wn.Inject(wli::Shuttle::Data(0, 1, media, 9));
+    });
+  }
+  simulator.RunUntil(20 * sim::kSecond);
+
+  Outcome out;
+  out.queue_drops = wn.stats().CounterValue("fabric.drop_queue");
+  out.delivered = delivered;
+  out.final_quality = transcoder.quality();
+  out.min_rate = min_rate;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E15 / multidimensional feedback ablation — 400 media frames"
+              " into a 256 kbit/s bottleneck over 20 s (1.6x overload)\n\n");
+  TablePrinter table({"dimensions enabled", "queue drops", "delivered",
+                      "final quality", "min source rate"});
+  const struct {
+    const char* label;
+    bool session;
+    bool node;
+  } cases[] = {
+      {"none (open loop)", false, false},
+      {"per-session only", true, false},
+      {"per-node only", false, true},
+      {"per-session + per-node", true, true},
+  };
+  for (const auto& c : cases) {
+    const Outcome out = Run(c.session, c.node);
+    table.AddRow({c.label, std::to_string(out.queue_drops),
+                  std::to_string(out.delivered),
+                  FormatDouble(out.final_quality, 2),
+                  FormatDouble(out.min_rate, 2)});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nexpected shape: the open loop drops heavily; each feedback"
+              " dimension alone cuts drops (by degrading quality or by"
+              " throttling the source); both together drop least — the"
+              " dimensions interoperate, which is the MFP claim.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// E16 — substrate micro-benchmarks (google-benchmark): the costs every
+// macro experiment is built on. Event queue operations, VM dispatch,
+// hashing, the TLV genome codec, fact-store operations and shortest paths.
+#include <benchmark/benchmark.h>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/tlv.h"
+#include "core/facts.h"
+#include "core/genetic_transcoder.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "vm/verifier.h"
+
+namespace {
+
+using namespace viator;
+
+void BM_EventScheduleDispatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (std::size_t i = 0; i < batch; ++i) {
+      simulator.ScheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(simulator.RunAll());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventScheduleDispatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_VmArithmeticLoop(benchmark::State& state) {
+  auto program = vm::Assemble("loop", R"(
+  push 1000
+  store 0
+loop:
+  load 0
+  jz done
+  load 0
+  push -1
+  add
+  store 0
+  jmp loop
+done:
+  halt
+)");
+  (void)vm::Verify(*program);
+  vm::Environment env;
+  vm::Interpreter interpreter;
+  for (auto _ : state) {
+    auto result = interpreter.Run(*program, env, 1 << 20);
+    benchmark::DoNotOptimize(result.fuel_used);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          6003);  // instructions per run
+}
+BENCHMARK(BM_VmArithmeticLoop);
+
+void BM_VmVerify(benchmark::State& state) {
+  auto program = vm::Assemble("verify-me", R"(
+  push 10
+  store 0
+loop:
+  load 0
+  jz done
+  load 0
+  push -1
+  add
+  store 0
+  sys random
+  pop
+  jmp loop
+done:
+  halt
+)");
+  for (auto _ : state) {
+    auto info = vm::Verify(*program);
+    benchmark::DoNotOptimize(info.ok());
+  }
+}
+BENCHMARK(BM_VmVerify);
+
+void BM_Fnv1aHash(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> data(size, std::byte{0x5a});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashBytes(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Fnv1aHash)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_GenomeEncodeDecode(benchmark::State& state) {
+  wli::ShipBlueprint blueprint;
+  blueprint.role = node::FirstLevelRole::kFusion;
+  for (int i = 0; i < 8; ++i) {
+    blueprint.facts.push_back({static_cast<wli::FactKey>(i), i * 10, 1.5});
+    blueprint.resident_programs.push_back(0x1000 + i);
+  }
+  wli::NetFunction fn;
+  fn.id = 1;
+  fn.name = "bench-fn";
+  fn.fact_keys = {1, 2, 3};
+  blueprint.functions.push_back(fn);
+  for (auto _ : state) {
+    const auto genome = wli::EncodeBlueprint(blueprint);
+    auto decoded = wli::DecodeBlueprint(genome);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_GenomeEncodeDecode);
+
+void BM_FactStoreTouch(benchmark::State& state) {
+  wli::FactStore store;
+  Rng rng(1);
+  sim::TimePoint now = 0;
+  for (auto _ : state) {
+    store.Touch(rng.UniformInt(0, 1023), 1, 1.0, now);
+    now += 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FactStoreTouch);
+
+void BM_FactStoreSweep(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    wli::FactStoreConfig cfg;
+    cfg.capacity = population * 2;
+    wli::FactStore store(cfg);
+    for (std::size_t i = 0; i < population; ++i) {
+      store.Touch(i, 1, 1.0, 0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.Sweep(60 * sim::kSecond));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(population));
+}
+BENCHMARK(BM_FactStoreSweep)->Arg(256)->Arg(4096);
+
+void BM_ShortestPathGrid(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  net::Topology topology = net::MakeGrid(side, side);
+  const auto last = static_cast<net::NodeId>(side * side - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.ShortestPath(0, last));
+  }
+}
+BENCHMARK(BM_ShortestPathGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Zipf(1000, 1.1));
+  }
+}
+BENCHMARK(BM_ZipfDraw);
+
+}  // namespace

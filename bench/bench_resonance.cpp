@@ -1,0 +1,111 @@
+// E8 — PMP Definition 3(4): network resonance — "a net function can emerge
+// on its own by getting in touch with other net functions, facts, user
+// interactions or other transmitted information".
+//
+// Reproduction: N ships hold fact pairs whose co-occurrence probability p
+// is swept. The resonance detector fires when correlated facts appear on
+// enough ships; we report emerged functions per pulse as a function of the
+// correlation strength, plus the effect of the detector's thresholds.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "sim/replica.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+// One trial: plant facts with co-occurrence probability p on 16 ships, run
+// one pulse, report emerged functions.
+double EmergedAt(double correlation, std::size_t min_support,
+                 std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeRing(16);
+  wli::WnConfig config;
+  config.resonance.min_support = min_support;
+  config.resonance.min_jaccard = 0.5;
+  config.enable_horizontal = false;
+  config.enable_vertical = false;
+  wli::WanderingNetwork wn(simulator, topology, config, seed);
+  wn.PopulateAllNodes();
+  Rng rng(seed * 31 + 1);
+
+  // Each ship holds fact A; with probability `correlation` it also holds
+  // fact B (the candidate resonant partner); plus one private noise fact.
+  for (net::NodeId n = 0; n < 16; ++n) {
+    wli::Ship* ship = wn.ship(n);
+    const bool holds_partner = rng.Bernoulli(correlation);
+    for (int rep = 0; rep < 5; ++rep) {
+      ship->facts().Touch(100, 1, 3.0, simulator.now());
+      if (holds_partner) {
+        ship->facts().Touch(200, 2, 3.0, simulator.now());
+      }
+      ship->facts().Touch(1000 + n, 0, 3.0, simulator.now());
+    }
+  }
+  wn.Pulse();
+  return static_cast<double>(wn.functions_emerged());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8 / network resonance — emergent functions from fact"
+              " co-occurrence (16 ships, 20 replicas per cell)\n\n");
+
+  TablePrinter table({"co-occurrence p", "support=4", "support=8",
+                      "support=12"});
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    std::vector<std::string> row{FormatDouble(p, 1)};
+    for (std::size_t support : {4u, 8u, 12u}) {
+      const auto agg = sim::RunReplicas(
+          [p, support](std::size_t, std::uint64_t seed) {
+            return sim::ReplicaMetrics{
+                {"emerged", EmergedAt(p, support, seed)}};
+          },
+          20, 777 + support);
+      row.push_back(FormatDouble(agg.at("emerged").mean, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Emergent functions acquire a role and land at the demand hotspot.
+  {
+    sim::Simulator simulator;
+    net::Topology topology = net::MakeRing(16);
+    wli::WnConfig config;
+    config.resonance.min_support = 4;
+    wli::WanderingNetwork wn(simulator, topology, config, 5);
+    wn.PopulateAllNodes();
+    for (net::NodeId n = 0; n < 8; ++n) {
+      for (int rep = 0; rep < 5; ++rep) {
+        wn.ship(n)->facts().Touch(100, 1, 3.0, 0);
+        wn.ship(n)->facts().Touch(200, 2, 3.0, 0);
+      }
+    }
+    for (int i = 0; i < 10; ++i) {
+      for (int r = 0; r < static_cast<int>(node::FirstLevelRole::kRoleCount);
+           ++r) {
+        wn.demand().Record(3, static_cast<node::FirstLevelRole>(r), 1.0);
+      }
+    }
+    wn.Pulse();
+    std::printf("\nresonant function placement: %llu emerged, host =",
+                static_cast<unsigned long long>(wn.functions_emerged()));
+    for (const auto& [fn, host] : wn.placements()) {
+      std::printf(" node %u", host);
+    }
+    std::printf(" (demand hotspot was node 3)\n");
+  }
+
+  std::printf("\nexpected shape: emergence switches on as p crosses the"
+              " support threshold — a sigmoid that shifts right as the"
+              " required support grows. Below threshold, nothing emerges"
+              " (no spurious autopoiesis).\n");
+  return 0;
+}

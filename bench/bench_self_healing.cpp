@@ -1,0 +1,135 @@
+// E9 — self-healing (§D footnote 18; FTPDS venue): "a self-healing network
+// ... adapts automatically to defects in its node connectivity, functional
+// specialization and performance disturbances ... automatic aggregation and
+// reconstruction of the disrupted functionality."
+//
+// Reproduction: a 4x4 grid hosts functions; nodes fail under an MTBF
+// process. With the self-healing coordinator, dead ships' functions are
+// regrown from genetic checkpoints on neighbors; without it they stay dead.
+// We sweep the detection delay and report service availability.
+#include <cstdio>
+#include <iostream>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/failure.h"
+#include "net/topology.h"
+#include "services/security_mgmt.h"
+#include "sim/replica.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+namespace {
+
+struct Outcome {
+  double available_fraction;  // time-weighted fraction of functions alive
+  double heals;
+  double regrown;
+};
+
+Outcome RunTrial(bool healing_enabled, sim::Duration detection_delay,
+                 std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeGrid(4, 4);
+  wli::WnConfig config;
+  wli::WanderingNetwork wn(simulator, topology, config, seed);
+  wn.PopulateAllNodes();
+
+  // Six functions spread over the grid.
+  std::vector<wli::FunctionId> functions;
+  for (int i = 0; i < 6; ++i) {
+    wli::NetFunction fn;
+    fn.name = "svc-" + std::to_string(i);
+    fn.role = static_cast<node::FirstLevelRole>(
+        i % static_cast<int>(node::FirstLevelRole::kRoleCount));
+    functions.push_back(
+        wn.DeployFunction(static_cast<net::NodeId>(i * 2 + 1), fn));
+  }
+
+  services::SelfHealingCoordinator::Config heal_config;
+  heal_config.detection_delay = detection_delay;
+  services::SelfHealingCoordinator healer(wn, heal_config);
+  healer.CheckpointAll();
+
+  net::FailureInjector injector(simulator, topology, Rng(seed ^ 0xfeed));
+  if (healing_enabled) {
+    injector.set_observer([&](const char* kind, std::uint32_t id, bool up) {
+      healer.OnFailureEvent(kind, id, up);
+    });
+  }
+
+  // Three node failures at 2, 5 and 8 seconds (no repair: permanent).
+  Rng pick(seed);
+  for (int f = 0; f < 3; ++f) {
+    injector.FailNode(static_cast<net::NodeId>(pick.Index(16)),
+                      (2 + 3 * f) * sim::kSecond, 0);
+  }
+
+  // Sample function availability every 100 ms over 12 s.
+  constexpr sim::Duration kHorizon = 12 * sim::kSecond;
+  std::uint64_t alive_samples = 0;
+  std::uint64_t total_samples = 0;
+  for (sim::TimePoint t = 0; t < kHorizon; t += 100 * sim::kMillisecond) {
+    simulator.ScheduleAt(t, [&] {
+      for (const auto fid : functions) {
+        ++total_samples;
+        const auto placed = wn.placements().find(fid);
+        if (placed != wn.placements().end() &&
+            wn.topology().IsNodeUp(placed->second)) {
+          ++alive_samples;
+        }
+      }
+    });
+  }
+  // Re-checkpoint periodically so sequential failures can be healed from
+  // fresh state (the network's long-term memory is maintained).
+  for (sim::TimePoint t = 0; t < kHorizon; t += sim::kSecond) {
+    simulator.ScheduleAt(t, [&] { healer.CheckpointAll(); });
+  }
+  simulator.RunUntil(kHorizon);
+
+  Outcome out;
+  out.available_fraction =
+      static_cast<double>(alive_samples) / static_cast<double>(total_samples);
+  out.heals = static_cast<double>(healer.heals());
+  out.regrown = static_cast<double>(healer.functions_regrown());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9 / self-healing — 4x4 grid, 6 functions, 3 permanent node"
+              " failures over 12 s (15 replicas per row)\n\n");
+
+  TablePrinter table({"configuration", "availability", "heals", "fns regrown"});
+  auto add_row = [&](const std::string& label, bool healing,
+                     sim::Duration delay) {
+    const auto agg = sim::RunReplicas(
+        [healing, delay](std::size_t, std::uint64_t seed) {
+          const Outcome o = RunTrial(healing, delay, seed);
+          return sim::ReplicaMetrics{{"avail", o.available_fraction},
+                                     {"heals", o.heals},
+                                     {"regrown", o.regrown}};
+        },
+        15, 4242);
+    table.AddRow({label,
+                  FormatDouble(agg.at("avail").mean * 100, 1) + "% +/- " +
+                      FormatDouble(agg.at("avail").stddev * 100, 1),
+                  FormatDouble(agg.at("heals").mean, 1),
+                  FormatDouble(agg.at("regrown").mean, 1)});
+  };
+
+  add_row("no self-healing (passive)", false, 0);
+  add_row("healing, detect 1 s", true, sim::kSecond);
+  add_row("healing, detect 250 ms", true, 250 * sim::kMillisecond);
+  add_row("healing, detect 50 ms", true, 50 * sim::kMillisecond);
+  table.Print(std::cout);
+
+  std::printf("\nexpected shape: availability without healing degrades with"
+              " each failure and never recovers; with healing it returns to"
+              " ~100%% after each failure, and faster detection closes the"
+              " availability gap further.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+; checksum.ws — fold the shuttle payload into a rolling digest through a
+; subroutine, emit it and store it as fact 555 on the hosting ship.
+; Build/run with the wsc tool:
+;   wsc verify docs/examples/checksum.ws
+;   wsc run    docs/examples/checksum.ws        (no payload: emits seed 7)
+  sys payload_size
+  store 1
+  push 7
+  store 2
+loop:
+  load 0
+  load 1
+  lt
+  jz done
+  call fold
+  load 0
+  push 1
+  add
+  store 0
+  jmp loop
+done:
+  load 2
+  sys emit
+  pop
+  push 555
+  load 2
+  push 100
+  sys put_fact
+  halt
+fold:
+  load 2
+  push 31
+  mul
+  load 0
+  sys payload
+  add
+  store 2
+  ret

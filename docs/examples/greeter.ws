@@ -1,0 +1,7 @@
+; greeter.ws — the minimal shuttle program: read two arguments from the
+; locals frame (wsc run docs/examples/greeter.ws 20 22), add them, emit.
+  load 0
+  load 1
+  add
+  sys emit
+  halt

@@ -1,0 +1,88 @@
+// Self-healing example (paper footnote 18, FTPDS context): a grid network
+// hosting functions loses a node; the self-healing coordinator detects the
+// failure and regrows the dead ship's functions on a neighbor from its
+// genetic checkpoint, while overlays re-pin their paths.
+//
+// Run: ./self_healing
+#include <cstdio>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/failure.h"
+#include "net/topology.h"
+#include "services/security_mgmt.h"
+#include "sim/simulator.h"
+
+using namespace viator;
+
+int main() {
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeGrid(4, 4);
+
+  wli::WnConfig config;
+  wli::WanderingNetwork wn(simulator, topology, config, 11);
+  wn.PopulateAllNodes();
+
+  // Host three functions on the node we will kill (node 5, an interior
+  // node), give it some knowledge to carry across.
+  const net::NodeId victim = 5;
+  std::vector<wli::FunctionId> functions;
+  const char* names[] = {"media-cache", "qos-booster", "msg-gateway"};
+  const node::FirstLevelRole roles[] = {node::FirstLevelRole::kCaching,
+                                        node::FirstLevelRole::kDelegation,
+                                        node::FirstLevelRole::kFission};
+  for (int i = 0; i < 3; ++i) {
+    wli::NetFunction fn;
+    fn.name = names[i];
+    fn.role = roles[i];
+    functions.push_back(wn.DeployFunction(victim, fn));
+  }
+  wn.ship(victim)->facts().Touch(0xCAFE, 42, 8.0, 0);
+
+  // An overlay whose pinned paths cross the victim: on the 4x4 grid the
+  // only two-hop path between nodes 1 and 9 runs through node 5.
+  auto overlay = wn.overlays().Spawn("media-overlay", {1, 9, 15});
+
+  services::SelfHealingCoordinator::Config heal_config;
+  heal_config.detection_delay = 80 * sim::kMillisecond;
+  services::SelfHealingCoordinator healer(wn, heal_config);
+  healer.CheckpointAll();  // the network's long-term memory
+
+  net::FailureInjector injector(simulator, topology, Rng(3));
+  injector.set_observer([&](const char* kind, std::uint32_t id, bool up) {
+    std::printf("[%s] %s %u went %s\n",
+                FormatNanos(simulator.now()).c_str(), kind, id,
+                up ? "up" : "down");
+    healer.OnFailureEvent(kind, id, up);
+  });
+
+  const sim::TimePoint fail_at = 2 * sim::kSecond;
+  injector.FailNode(victim, fail_at, /*outage=*/0);
+
+  simulator.RunUntil(5 * sim::kSecond);
+  const std::size_t repaired_links = wn.overlays().RefreshPaths();
+
+  std::printf("\n== Viator self-healing ==\n");
+  std::printf("victim node           : %u (3 functions, 1 fact)\n", victim);
+  std::printf("failure at            : %s\n", FormatNanos(fail_at).c_str());
+  std::printf("heal completed at     : %s (detection delay %s)\n",
+              FormatNanos(healer.last_heal_time()).c_str(),
+              FormatNanos(heal_config.detection_delay).c_str());
+  std::printf("functions regrown     : %llu\n",
+              static_cast<unsigned long long>(healer.functions_regrown()));
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const auto host = wn.placements().at(functions[i]);
+    std::printf("  %-13s -> node %u (%s)\n", names[i], host,
+                topology.IsNodeUp(host) ? "alive" : "DEAD");
+  }
+  // The genome carried the fact to the successor.
+  const auto successor = wn.placements().at(functions[0]);
+  std::printf("fact 0xCAFE on node %u : %lld\n", successor,
+              static_cast<long long>(
+                  wn.ship(successor)->facts().Get(0xCAFE).value_or(-1)));
+  if (overlay.ok()) {
+    std::printf("overlay links re-pinned after failure: %zu\n",
+                repaired_links);
+  }
+  return 0;
+}

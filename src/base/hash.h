@@ -1,0 +1,45 @@
+// Content hashing for the Viator code-distribution and genome subsystems.
+//
+// WanderScript programs, genomes and knowledge quanta are content-addressed:
+// a 64-bit FNV-1a digest identifies immutable byte strings. FNV-1a is not
+// cryptographic — capsule *authorization* additionally uses a keyed tag (see
+// services/security) — but it is deterministic, fast, and collision-safe
+// enough for a simulator's content store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace viator {
+
+/// 64-bit content digest (FNV-1a).
+using Digest = std::uint64_t;
+
+inline constexpr Digest kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr Digest kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over raw bytes.
+Digest HashBytes(std::span<const std::byte> bytes);
+
+/// FNV-1a over a string.
+Digest HashString(std::string_view text);
+
+/// Incrementally extend a digest with more bytes (chainable).
+Digest HashCombine(Digest seed, std::span<const std::byte> bytes);
+
+/// Extend a digest with a single 64-bit word (for hashing structured data).
+Digest HashCombineWord(Digest seed, std::uint64_t word);
+
+/// Hex rendering of a digest, e.g. "4f8a...", for traces and tables.
+std::string DigestToHex(Digest digest);
+
+/// A keyed (non-cryptographic) authentication tag: digest over key || data ||
+/// key. Stands in for an HMAC in the capsule-authorization path; the security
+/// *protocol* shape (shared key, tag verify, reject on mismatch) is what the
+/// experiments exercise.
+Digest KeyedTag(std::uint64_t key, std::span<const std::byte> data);
+
+}  // namespace viator

@@ -1,0 +1,134 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace viator {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() {
+  const std::uint64_t a = Next();
+  const std::uint64_t b = Next();
+  return Rng(a ^ Rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return Next();
+  // Rejection-free Lemire reduction is overkill here; modulo bias over a
+  // 64-bit draw is negligible for simulator spans.
+  return lo + Next() % (span + 1);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Pareto(double alpha, double xm) {
+  assert(alpha > 0.0 && xm > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::Zipf(std::size_t n, double skew) {
+  assert(n > 0);
+  ZipfTable* table = nullptr;
+  for (auto& t : zipf_tables_) {
+    if (t.n == n && t.skew == skew) {
+      table = &t;
+      break;
+    }
+  }
+  if (table == nullptr) {
+    ZipfTable t;
+    t.n = n;
+    t.skew = skew;
+    t.cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      t.cdf[i] = sum;
+    }
+    for (auto& c : t.cdf) c /= sum;
+    zipf_tables_.push_back(std::move(t));
+    table = &zipf_tables_.back();
+  }
+  const double u = NextDouble();
+  const auto it = std::lower_bound(table->cdf.begin(), table->cdf.end(), u);
+  return static_cast<std::size_t>(it - table->cdf.begin());
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(UniformInt(0, n - 1));
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[Index(i)]);
+  }
+  return perm;
+}
+
+}  // namespace viator

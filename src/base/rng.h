@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the simulator draws from an explicitly seeded
+// Rng. Replicated experiments give each replica its own stream via
+// Rng::Fork(), so runs are reproducible bit-for-bit regardless of thread
+// scheduling. The generator is xoshiro256** seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace viator {
+
+/// xoshiro256** PRNG with convenience distributions. Cheap to copy; forkable
+/// into statistically independent child streams.
+class Rng {
+ public:
+  /// Seeds the state by running splitmix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t Next();
+
+  /// Child generator independent of (and not advancing with) this one beyond
+  /// the two draws consumed to seed it. Use one fork per replica/subsystem.
+  Rng Fork();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box–Muller, scaled to (mean, stddev).
+  double Normal(double mean, double stddev);
+
+  /// Pareto-distributed value (shape alpha > 0, scale xm > 0). Used for
+  /// heavy-tailed content popularity and flow sizes.
+  double Pareto(double alpha, double xm);
+
+  /// Zipf-like rank selection over n items (rank 0 most popular) by inverse
+  /// CDF over precomputed weights. O(log n) after O(n) first call per size.
+  std::size_t Zipf(std::size_t n, double skew);
+
+  /// Index drawn uniformly from [0, n). Requires n > 0.
+  std::size_t Index(std::size_t n);
+
+  /// Fisher–Yates shuffle of an index vector 0..n-1.
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+  // Cached Zipf tables keyed by (n, skew); small and replica-local.
+  struct ZipfTable {
+    std::size_t n;
+    double skew;
+    std::vector<double> cdf;
+  };
+  std::vector<ZipfTable> zipf_tables_;
+};
+
+}  // namespace viator

@@ -1,0 +1,42 @@
+// Text helpers shared by benches and examples: fixed-width table rendering
+// (every bench prints paper-style rows through TablePrinter) and numeric
+// formatting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace viator {
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 2);
+
+/// Human-readable byte count ("1.5 KiB", "3.2 MiB").
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Human-readable simulated duration given nanoseconds ("1.25 ms").
+std::string FormatNanos(std::uint64_t nanos);
+
+/// Renders aligned ASCII tables; used by every experiment harness so bench
+/// output has one consistent shape.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a data row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (with a rule under the header) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Convenience: renders to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace viator

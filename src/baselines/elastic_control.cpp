@@ -1,0 +1,61 @@
+#include "baselines/elastic_control.h"
+
+namespace viator::baselines {
+
+ElasticController::ElasticController(wli::WanderingNetwork& network,
+                                     net::NodeId controller)
+    : network_(network), controller_(controller) {
+  network_.ForEachShip([this](wli::Ship& ship) {
+    ship.SetControlHandler(
+        [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+          OnControl(s, shuttle);
+        });
+  });
+}
+
+bool ElasticController::RequestRoleSwitch(net::NodeId subject,
+                                          node::FirstLevelRole role) {
+  if (!network_.topology().IsNodeUp(controller_)) {
+    ++requests_lost_;
+    return false;  // single point of failure
+  }
+  wli::Shuttle observe;
+  observe.header.source = subject;
+  observe.header.destination = controller_;
+  observe.header.kind = wli::ShuttleKind::kControl;
+  observe.payload = {kObserve, static_cast<std::int64_t>(subject),
+                     static_cast<std::int64_t>(role)};
+  return network_.Inject(std::move(observe)).ok();
+}
+
+void ElasticController::OnControl(wli::Ship& ship,
+                                  const wli::Shuttle& shuttle) {
+  if (shuttle.payload.size() != 3) return;
+  const std::int64_t type = shuttle.payload[0];
+  const auto subject = static_cast<net::NodeId>(shuttle.payload[1]);
+  const auto role_index = static_cast<std::uint64_t>(shuttle.payload[2]);
+  if (role_index >=
+      static_cast<std::uint64_t>(node::FirstLevelRole::kRoleCount)) {
+    return;
+  }
+  const auto role = static_cast<node::FirstLevelRole>(role_index);
+
+  if (type == kObserve && ship.id() == controller_) {
+    // Decide centrally (trivially approve) and command the subject.
+    wli::Shuttle command;
+    command.header.source = controller_;
+    command.header.destination = subject;
+    command.header.kind = wli::ShuttleKind::kControl;
+    command.payload = {kCommand, shuttle.payload[1], shuttle.payload[2]};
+    (void)network_.Inject(std::move(command));
+    return;
+  }
+  if (type == kCommand && ship.id() == subject) {
+    if (ship.SwitchRole(role, node::SwitchMechanism::kResidentSoftware)
+            .ok()) {
+      ++switches_applied_;
+    }
+  }
+}
+
+}  // namespace viator::baselines

@@ -1,0 +1,50 @@
+// Elastic-control baseline (paper ref [32], Bos et al.): control functions
+// live at a fixed out-of-band controller instead of wandering through the
+// network. The paper positions WLI explicitly against this: "The WLI
+// approach is not the intended distribution of fixed, injected,
+// programmable, or even 'elastic' control functions inside or outside the
+// network."
+//
+// ElasticController models that architecture's cost: every adaptation
+// decision requires a round trip to the controller node (observe + command),
+// so adaptation latency includes 2× the controller's network distance, and
+// the controller is a single point of failure (when its node dies, no
+// adaptation happens at all) — the properties the E12 generation ablation
+// compares against autopoietic wandering.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wandering_network.h"
+
+namespace viator::baselines {
+
+class ElasticController {
+ public:
+  ElasticController(wli::WanderingNetwork& network, net::NodeId controller);
+
+  /// Requests a role switch at `subject` the elastic way: an observation
+  /// shuttle travels subject -> controller, the decision travels back, and
+  /// only then does the role flip. Returns false when the controller is
+  /// unreachable (its failure mode).
+  bool RequestRoleSwitch(net::NodeId subject, node::FirstLevelRole role);
+
+  /// Completed switches (the command arrived and was applied).
+  std::uint64_t switches_applied() const { return switches_applied_; }
+  std::uint64_t requests_lost() const { return requests_lost_; }
+
+  net::NodeId controller() const { return controller_; }
+
+ private:
+  void OnControl(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  static constexpr std::int64_t kObserve = 1;
+  static constexpr std::int64_t kCommand = 2;
+
+  wli::WanderingNetwork& network_;
+  net::NodeId controller_;
+  std::uint64_t switches_applied_ = 0;
+  std::uint64_t requests_lost_ = 0;
+};
+
+}  // namespace viator::baselines

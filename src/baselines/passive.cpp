@@ -1,0 +1,27 @@
+#include "baselines/passive.h"
+
+namespace viator::baselines {
+
+std::uint64_t PassiveEndpoints::UnicastToAll(
+    net::NodeId src, const std::vector<net::NodeId>& receivers,
+    const std::vector<std::int64_t>& payload, std::uint64_t flow) {
+  std::uint64_t bytes = 0;
+  for (net::NodeId receiver : receivers) {
+    wli::Shuttle shuttle = wli::Shuttle::Data(src, receiver, payload, flow);
+    bytes += shuttle.WireSize();
+    (void)network_.Inject(std::move(shuttle));
+  }
+  return bytes;
+}
+
+std::uint64_t PassiveEndpoints::SendRaw(net::NodeId src, net::NodeId sink,
+                                        const std::vector<std::int64_t>&
+                                            payload,
+                                        std::uint64_t flow) {
+  wli::Shuttle shuttle = wli::Shuttle::Data(src, sink, payload, flow);
+  const std::uint64_t bytes = shuttle.WireSize();
+  (void)network_.Inject(std::move(shuttle));
+  return bytes;
+}
+
+}  // namespace viator::baselines

@@ -1,0 +1,48 @@
+// Passive-network baseline: the legacy IP comparator every active-network
+// argument in the paper is made against. Computation only at the endpoints;
+// routers "transparently forward datagrams in the traditional manner".
+//
+// PassiveEndpoints runs the E6 workloads without in-network functions:
+//   * no fusion   — every raw reading crosses the whole path; the receiver
+//                   aggregates,
+//   * no fission  — the source unicasts one copy per receiver,
+//   * no caching  — every request travels to the origin,
+//   * no delegation — the service stays pinned at a fixed server.
+// It reuses the same fabric and shuttle shapes so byte/latency comparisons
+// against the active services are apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wandering_network.h"
+
+namespace viator::baselines {
+
+class PassiveEndpoints {
+ public:
+  /// Builds on an existing network whose ships have *no* active roles
+  /// installed (the constructor does not install any).
+  explicit PassiveEndpoints(wli::WanderingNetwork& network)
+      : network_(network) {}
+
+  /// Unicast replication: sends `payload` from `src` once per receiver
+  /// (what multicast fission avoids). Returns total bytes injected.
+  std::uint64_t UnicastToAll(net::NodeId src,
+                             const std::vector<net::NodeId>& receivers,
+                             const std::vector<std::int64_t>& payload,
+                             std::uint64_t flow);
+
+  /// Endpoint aggregation: raw readings go end-to-end; the sink-side
+  /// aggregate is computed by the caller. Returns bytes injected.
+  std::uint64_t SendRaw(net::NodeId src, net::NodeId sink,
+                        const std::vector<std::int64_t>& payload,
+                        std::uint64_t flow);
+
+  wli::WanderingNetwork& network() { return network_; }
+
+ private:
+  wli::WanderingNetwork& network_;
+};
+
+}  // namespace viator::baselines

@@ -1,0 +1,62 @@
+#include "core/dcp.h"
+
+namespace viator::wli {
+
+void MorphingEngine::SetRequiredInterface(node::ShipClass cls,
+                                          InterfaceId required) {
+  required_[cls] = required;
+}
+
+void MorphingEngine::AddAdapter(InterfaceId from, InterfaceId to,
+                                std::uint32_t overhead_bytes,
+                                sim::Duration latency) {
+  adapters_[{from, to}] = Adapter{overhead_bytes, latency};
+}
+
+InterfaceId MorphingEngine::RequiredInterface(node::ShipClass cls) const {
+  const auto it = required_.find(cls);
+  return it == required_.end() ? 0 : it->second;
+}
+
+MorphOutcome MorphingEngine::MorphForDock(Shuttle& shuttle) const {
+  MorphOutcome outcome;
+  const InterfaceId target = RequiredInterface(shuttle.header.dest_class_hint);
+  ++attempted_;
+  if (shuttle.header.interface_id == target) {
+    outcome.success = true;
+    outcome.already_matched = true;
+    return outcome;
+  }
+  const auto it = adapters_.find({shuttle.header.interface_id, target});
+  if (it == adapters_.end()) {
+    ++failed_;
+    return outcome;  // no adapter: the dock rejects the shuttle
+  }
+  shuttle.header.interface_id = target;
+  outcome.success = true;
+  outcome.overhead_bytes = it->second.overhead_bytes;
+  outcome.latency = it->second.latency;
+  return outcome;
+}
+
+bool CongruenceTracker::Observe(InterfaceId observed) {
+  ++observations_;
+  const bool hit = observed == predicted_;
+  score_ = (1.0 - alpha_) * score_ + alpha_ * (hit ? 1.0 : 0.0);
+
+  // Decay all votes, reinforce the observed interface, re-elect the leader.
+  for (auto& [iface, vote] : votes_) vote *= (1.0 - alpha_);
+  votes_[observed] += alpha_;
+  InterfaceId best = predicted_;
+  double best_vote = -1.0;
+  for (const auto& [iface, vote] : votes_) {
+    if (vote > best_vote) {
+      best = iface;
+      best_vote = vote;
+    }
+  }
+  predicted_ = best;
+  return hit;
+}
+
+}  // namespace viator::wli

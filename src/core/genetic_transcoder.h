@@ -1,0 +1,50 @@
+// Genetic transcoding (PMP Def. 3(5) and contribution 3, "Node Genesis"):
+// "encoding and embedding the structural information about a mobile node,
+// the ship, and its environment into the executable part of the active
+// packets, the shuttles."
+//
+// A ShipBlueprint is the genome: role state, resident code, hardware
+// configuration and the strongest facts. Ships encode themselves into
+// shuttle genomes; a receiving ship (or the self-healing coordinator
+// reconstructing a dead node's function elsewhere) decodes and applies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "core/facts.h"
+#include "core/knowledge.h"
+#include "node/profile.h"
+
+namespace viator::wli {
+
+/// Hardware module description inside a genome.
+struct ModuleGene {
+  std::uint32_t module_id = 0;
+  node::SecondLevelClass accelerates = node::SecondLevelClass::kSupplementary;
+  std::uint32_t gate_count = 0;
+  double speedup = 1.0;
+  Digest driver_digest = 0;
+};
+
+/// The decoded structural genome of a ship.
+struct ShipBlueprint {
+  node::ShipClass ship_class = node::ShipClass::kServer;
+  node::FirstLevelRole role = node::FirstLevelRole::kCaching;
+  node::FirstLevelRole next_step = node::FirstLevelRole::kCaching;
+  std::vector<Digest> resident_programs;
+  std::vector<FactSnapshot> facts;
+  std::vector<ModuleGene> modules;
+  std::vector<NetFunction> functions;
+  std::uint32_t genome_version = 1;
+};
+
+/// Serializes a blueprint into a shuttle genome (TLV with checksum).
+std::vector<std::byte> EncodeBlueprint(const ShipBlueprint& blueprint);
+
+/// Decodes a genome; rejects corrupt streams and out-of-range enums.
+Result<ShipBlueprint> DecodeBlueprint(std::span<const std::byte> genome);
+
+}  // namespace viator::wli

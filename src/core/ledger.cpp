@@ -1,0 +1,92 @@
+#include "core/ledger.h"
+
+namespace viator::wli {
+
+void FunctionUsageLedger::RecordPlacement(FunctionId function,
+                                          net::NodeId host,
+                                          sim::TimePoint now) {
+  auto& episodes = history_[function];
+  if (!episodes.empty() && episodes.back().to == 0) {
+    if (episodes.back().host == host) return;  // already open there
+    episodes.back().to = now;
+  }
+  Episode episode;
+  episode.host = host;
+  episode.from = now;
+  episodes.push_back(episode);
+}
+
+void FunctionUsageLedger::RecordRemoval(FunctionId function,
+                                        sim::TimePoint now) {
+  const auto it = history_.find(function);
+  if (it == history_.end() || it->second.empty()) return;
+  if (it->second.back().to == 0) it->second.back().to = now;
+}
+
+void FunctionUsageLedger::RecordUse(FunctionId function) {
+  const auto it = history_.find(function);
+  if (it == history_.end() || it->second.empty()) return;
+  ++it->second.back().uses;
+}
+
+const std::vector<FunctionUsageLedger::Episode>*
+FunctionUsageLedger::EpisodesOf(FunctionId function) const {
+  const auto it = history_.find(function);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+std::size_t FunctionUsageLedger::VisitCount(FunctionId function) const {
+  const auto it = history_.find(function);
+  return it == history_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t FunctionUsageLedger::TotalUses(FunctionId function) const {
+  const auto it = history_.find(function);
+  if (it == history_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const Episode& episode : it->second) total += episode.uses;
+  return total;
+}
+
+sim::Duration FunctionUsageLedger::MeanDwell(FunctionId function,
+                                             sim::TimePoint now) const {
+  const auto it = history_.find(function);
+  if (it == history_.end() || it->second.empty()) return 0;
+  sim::Duration total = 0;
+  for (const Episode& episode : it->second) {
+    const sim::TimePoint end = episode.to == 0 ? now : episode.to;
+    total += end > episode.from ? end - episode.from : 0;
+  }
+  return total / it->second.size();
+}
+
+net::NodeId FunctionUsageLedger::MostUsedHost(FunctionId function) const {
+  const auto it = history_.find(function);
+  if (it == history_.end()) return net::kInvalidNode;
+  std::map<net::NodeId, std::uint64_t> by_host;
+  for (const Episode& episode : it->second) {
+    by_host[episode.host] += episode.uses;
+  }
+  net::NodeId best = net::kInvalidNode;
+  std::uint64_t best_uses = 0;
+  for (const auto& [host, uses] : by_host) {
+    if (best == net::kInvalidNode || uses > best_uses) {
+      best = host;
+      best_uses = uses;
+    }
+  }
+  return best;
+}
+
+std::map<net::NodeId, std::uint64_t> FunctionUsageLedger::UsageByHost()
+    const {
+  std::map<net::NodeId, std::uint64_t> out;
+  for (const auto& [function, episodes] : history_) {
+    for (const Episode& episode : episodes) {
+      out[episode.host] += episode.uses;
+    }
+  }
+  return out;
+}
+
+}  // namespace viator::wli

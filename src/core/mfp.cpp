@@ -1,0 +1,66 @@
+#include "core/mfp.h"
+
+#include <algorithm>
+
+namespace viator::wli {
+
+std::string_view FeedbackDimensionName(FeedbackDimension dimension) {
+  switch (dimension) {
+    case FeedbackDimension::kPerNode: return "per-node";
+    case FeedbackDimension::kPerConfiguration: return "per-configuration";
+    case FeedbackDimension::kPerPacket: return "per-packet";
+    case FeedbackDimension::kPerMethod: return "per-method";
+    case FeedbackDimension::kPerMulticastBranch: return "per-multicast-branch";
+    case FeedbackDimension::kPerMessage: return "per-message";
+    case FeedbackDimension::kPerInteropTask: return "per-interop-task";
+    case FeedbackDimension::kPerApplication: return "per-application";
+    case FeedbackDimension::kPerSession: return "per-session";
+    case FeedbackDimension::kPerDataLink: return "per-data-link";
+    case FeedbackDimension::kDimensionCount: break;
+  }
+  return "?";
+}
+
+FeedbackBus::SubscriptionId FeedbackBus::Subscribe(
+    FeedbackDimension dimension, Handler handler) {
+  const SubscriptionId id = next_id_++;
+  subscriptions_.push_back(Subscription{id, dimension, std::move(handler)});
+  return id;
+}
+
+void FeedbackBus::Unsubscribe(SubscriptionId id) {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [id](const Subscription& s) { return s.id == id; }),
+      subscriptions_.end());
+}
+
+void FeedbackBus::Publish(const FeedbackSignal& signal) {
+  ++published_;
+  if (!IsEnabled(signal.dimension)) {
+    ++suppressed_;
+    return;
+  }
+  // Copy-safe iteration: handlers may subscribe/unsubscribe re-entrantly.
+  const auto snapshot = subscriptions_;
+  for (const Subscription& sub : snapshot) {
+    if (sub.dimension == signal.dimension) {
+      sub.handler(signal);
+      ++delivered_;
+    }
+  }
+}
+
+void FeedbackBus::EnableDimension(FeedbackDimension dimension, bool enabled) {
+  enabled_[static_cast<std::size_t>(dimension)] = enabled;
+}
+
+bool FeedbackBus::IsEnabled(FeedbackDimension dimension) const {
+  return enabled_[static_cast<std::size_t>(dimension)];
+}
+
+void AimdRate::OnSuccess() { rate_ = std::min(max_, rate_ + step_); }
+
+void AimdRate::OnCongestion() { rate_ = std::max(min_, rate_ * beta_); }
+
+}  // namespace viator::wli

@@ -1,0 +1,79 @@
+// Virtual topologies: the "Routing Control" class of §D — "overlaying and
+// managing several virtual topologies on top of the same physical network
+// infrastructure" — and the QoS "topology on demand" the paper promises
+// ("we can generate a QoS oriented network topology on demand").
+//
+// An Overlay is a named set of member ships joined by virtual links, each
+// pinned to a physical path. The manager spawns overlays (Figure 4's
+// vertical wandering: clustering + spawning), builds QoS-bounded topologies
+// and re-pins paths after physical change (overlay self-healing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace viator::wli {
+
+using OverlayId = std::uint32_t;
+
+struct VirtualLink {
+  net::NodeId a = net::kInvalidNode;
+  net::NodeId b = net::kInvalidNode;
+  std::vector<net::NodeId> physical_path;  // includes both endpoints
+  sim::Duration path_latency = 0;
+};
+
+struct Overlay {
+  OverlayId id = 0;
+  std::string name;
+  std::vector<net::NodeId> members;
+  std::vector<VirtualLink> links;
+  sim::Duration qos_latency_bound = 0;  // 0 = best effort
+};
+
+class OverlayManager {
+ public:
+  explicit OverlayManager(net::Topology& topology) : topology_(topology) {}
+
+  /// Spawns an overlay joining `members` pairwise (full mesh over physical
+  /// fastest paths). With a nonzero `latency_bound`, virtual links whose
+  /// path latency exceeds the bound are omitted; fails when the bound makes
+  /// the overlay disconnected.
+  Result<OverlayId> Spawn(std::string name, std::vector<net::NodeId> members,
+                          sim::Duration latency_bound = 0);
+
+  Status Remove(OverlayId id);
+
+  const Overlay* Find(OverlayId id) const;
+  const std::map<OverlayId, Overlay>& overlays() const { return overlays_; }
+
+  /// Recomputes every virtual link's physical path against the current
+  /// topology (after failures/mobility). Links that lost their path are
+  /// re-routed; returns how many links changed. Unroutable links remain
+  /// with an empty path (visible to callers as a QoS violation).
+  std::size_t RefreshPaths();
+
+  /// Average path stretch of an overlay: mean over virtual links of
+  /// (physical hops on pinned path) / (current shortest-path hops).
+  double AverageStretch(OverlayId id) const;
+
+  std::uint64_t spawned_total() const { return spawned_total_; }
+
+ private:
+  Result<VirtualLink> BuildLink(net::NodeId a, net::NodeId b,
+                                sim::Duration latency_bound) const;
+  static bool MembersConnected(const Overlay& overlay);
+
+  net::Topology& topology_;
+  std::map<OverlayId, Overlay> overlays_;
+  OverlayId next_id_ = 1;
+  std::uint64_t spawned_total_ = 0;
+};
+
+}  // namespace viator::wli

@@ -1,0 +1,157 @@
+// Ships: the active mobile nodes of the Wandering Network.
+//
+// A Ship binds one NodeOS (EEs, code cache, hardware plane, quotas) to one
+// position in the physical topology. It is also the vm::Environment that
+// shuttle code runs against — every syscall a capsule makes lands here,
+// where NodeOS policy is enforced. Shuttle processing implements the full
+// ployon duality of the DCP: ships process shuttles (role handlers, code
+// execution), shuttles process ships (role switches, code installation,
+// genome application), and both can process themselves (morphing packets,
+// self-reconfiguration).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/dcp.h"
+#include "core/facts.h"
+#include "core/genetic_transcoder.h"
+#include "core/knowledge.h"
+#include "core/shuttle.h"
+#include "core/srp.h"
+#include "net/types.h"
+#include "node/node_os.h"
+#include "vm/interpreter.h"
+
+namespace viator::wli {
+
+class WanderingNetwork;
+
+class Ship : public vm::Environment {
+ public:
+  Ship(WanderingNetwork& network, net::NodeId id, node::ShipClass ship_class,
+       const node::ResourceQuota& quota, const node::Capabilities& caps,
+       Rng rng);
+
+  net::NodeId id() const { return id_; }
+  node::ShipClass ship_class() const { return class_; }
+
+  node::NodeOs& os() { return os_; }
+  const node::NodeOs& os() const { return os_; }
+  FactStore& facts() { return facts_; }
+  const FactStore& facts() const { return facts_; }
+  FunctionTable& functions() { return functions_; }
+  const FunctionTable& functions() const { return functions_; }
+  CongruenceTracker& congruence() { return congruence_; }
+
+  // ---- Native service handlers ----
+
+  /// Services (src/services) install a native handler per first-level role;
+  /// the handler runs when a data shuttle reaches a ship holding that role.
+  using NativeHandler = std::function<void(Ship&, const Shuttle&)>;
+  void SetRoleHandler(node::FirstLevelRole role, NativeHandler handler);
+  bool HasRoleHandler(node::FirstLevelRole role) const;
+
+  /// Handler invoked for every consumed shuttle regardless of role (tap for
+  /// measurement sinks). Runs after normal processing.
+  void SetDeliverySink(NativeHandler sink) { delivery_sink_ = std::move(sink); }
+
+  /// Handler for kControl shuttles (routing protocols, clustering beacons).
+  void SetControlHandler(NativeHandler handler) {
+    control_handler_ = std::move(handler);
+  }
+
+  // ---- Shuttle lifecycle ----
+
+  /// Entry point from the network layer: a shuttle arrived on this ship,
+  /// either to be consumed (destination) or forwarded.
+  void Receive(Shuttle shuttle, net::NodeId arrived_from);
+
+  /// Emits a shuttle into the network from this ship.
+  Status SendShuttle(Shuttle shuttle);
+
+  // ---- Self-reconfiguration ----
+
+  /// Role switch through the NodeOS; completion is scheduled on the
+  /// simulator (the ship is "reconfiguring" and queues work meanwhile —
+  /// modelled as added latency on the next processing).
+  Status SwitchRole(node::FirstLevelRole role, node::SwitchMechanism mechanism);
+
+  /// Node Genesis: snapshot this ship's structure as a genome blueprint.
+  ShipBlueprint ToBlueprint(std::size_t max_facts = 8) const;
+
+  /// Applies a blueprint (arrived via shuttle genome): adopts role state,
+  /// facts and functions. Hardware genes require a 3G+ node and available
+  /// gates; incompatible genes are skipped, not fatal.
+  Status ApplyBlueprint(const ShipBlueprint& blueprint);
+
+  /// Self-description for the SRP community protocols. A dishonest ship
+  /// (set_honest(false)) advertises a stale digest — peers auditing it will
+  /// report unfairness.
+  SelfDescription DescribeSelf() const;
+  void set_honest(bool honest) { honest_ = honest; }
+  bool honest() const { return honest_; }
+
+  // ---- vm::Environment ----
+  Result<std::int64_t> Invoke(vm::Syscall id,
+                              std::span<const std::int64_t> args) override;
+
+  // ---- Statistics ----
+  std::uint64_t shuttles_consumed() const { return shuttles_consumed_; }
+  std::uint64_t shuttles_forwarded() const { return shuttles_forwarded_; }
+  std::uint64_t code_executions() const { return code_executions_; }
+  std::uint64_t code_misses() const { return code_misses_; }
+  const std::vector<std::int64_t>& last_emissions() const {
+    return last_emissions_;
+  }
+
+  /// Per-class invocation activity since the last pulse (vertical wanderer
+  /// input); reading resets the window.
+  std::unordered_map<int, double> DrainClassActivity();
+
+ private:
+  void Consume(const Shuttle& shuttle, net::NodeId arrived_from);
+  void ExecuteShuttleCode(const Shuttle& shuttle, const vm::Program& program);
+  void HandleCodeShuttle(const Shuttle& shuttle);
+  void HandleCodeRequest(const Shuttle& shuttle);
+  void HandleCodeReply(const Shuttle& shuttle);
+  void HandleKnowledge(const Shuttle& shuttle);
+  void HandleJet(Shuttle shuttle);
+  void ReleaseWaiters(Digest digest);
+
+  WanderingNetwork& network_;
+  net::NodeId id_;
+  node::ShipClass class_;
+  node::NodeOs os_;
+  FactStore facts_;
+  FunctionTable functions_;
+  CongruenceTracker congruence_;
+  Rng rng_;
+  bool honest_ = true;
+
+  std::array<NativeHandler,
+             static_cast<std::size_t>(node::FirstLevelRole::kRoleCount)>
+      role_handlers_{};
+  NativeHandler delivery_sink_;
+  NativeHandler control_handler_;
+
+  // Execution context while a shuttle's code runs (syscalls read these).
+  const Shuttle* current_shuttle_ = nullptr;
+  std::vector<std::int64_t> last_emissions_;
+
+  // Shuttles parked until their code arrives (demand loading).
+  std::unordered_map<Digest, std::vector<Shuttle>> waiting_for_code_;
+
+  std::unordered_map<int, double> class_activity_;
+
+  std::uint64_t shuttles_consumed_ = 0;
+  std::uint64_t shuttles_forwarded_ = 0;
+  std::uint64_t code_executions_ = 0;
+  std::uint64_t code_misses_ = 0;
+};
+
+}  // namespace viator::wli

@@ -1,0 +1,46 @@
+#include "core/shuttle.h"
+
+namespace viator::wli {
+
+std::string_view ShuttleKindName(ShuttleKind kind) {
+  switch (kind) {
+    case ShuttleKind::kData: return "data";
+    case ShuttleKind::kCode: return "code";
+    case ShuttleKind::kCodeRequest: return "code-request";
+    case ShuttleKind::kCodeReply: return "code-reply";
+    case ShuttleKind::kKnowledge: return "knowledge";
+    case ShuttleKind::kJet: return "jet";
+    case ShuttleKind::kControl: return "control";
+    case ShuttleKind::kKindCount: break;
+  }
+  return "?";
+}
+
+std::uint32_t Shuttle::WireSize() const {
+  return kShuttleHeaderBytes +
+         static_cast<std::uint32_t>(code_image.size()) +
+         static_cast<std::uint32_t>(payload.size() * 8) +
+         static_cast<std::uint32_t>(genome.size());
+}
+
+Shuttle Shuttle::Data(net::NodeId src, net::NodeId dst,
+                      std::vector<std::int64_t> payload, std::uint64_t flow) {
+  Shuttle s;
+  s.header.source = src;
+  s.header.destination = dst;
+  s.header.flow_id = flow;
+  s.header.kind = ShuttleKind::kData;
+  s.payload = std::move(payload);
+  return s;
+}
+
+Shuttle Shuttle::CodeRequest(net::NodeId src, net::NodeId dst, Digest digest) {
+  Shuttle s;
+  s.header.source = src;
+  s.header.destination = dst;
+  s.header.kind = ShuttleKind::kCodeRequest;
+  s.code_digest = digest;
+  return s;
+}
+
+}  // namespace viator::wli

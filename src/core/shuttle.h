@@ -1,0 +1,86 @@
+// Shuttles: the active packets of the Wandering Network.
+//
+// A shuttle generalizes an ANTS capsule (§B): it carries a reference to its
+// processing routine (demand-loaded by digest), optionally the routine
+// itself, data payload, and a *genetic* section encoding structural
+// information about ships or network functions. Jets are the special shuttle
+// class "allowed to replicate themselves and to create/remove/modify other
+// capsules and resources in the network" — bounded here by an explicit
+// replication budget that the security class enforces.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "base/hash.h"
+#include "net/types.h"
+#include "node/profile.h"
+
+namespace viator::wli {
+
+enum class ShuttleKind : std::uint8_t {
+  kData = 0,     // payload processed by the destination's active function
+  kCode,         // transports a program for installation (role upgrade)
+  kCodeRequest,  // demand code-distribution: "send me program <digest>"
+  kCodeReply,    // demand code-distribution: carries the requested program
+  kKnowledge,    // carries knowledge quanta (PMP)
+  kJet,          // self-replicating management shuttle
+  kControl,      // signalling between ships (routing, clustering, feedback)
+  kKindCount,
+};
+
+std::string_view ShuttleKindName(ShuttleKind kind);
+
+/// Per-hop-immutable addressing and typing information.
+struct ShuttleHeader {
+  net::NodeId source = net::kInvalidNode;
+  net::NodeId destination = net::kInvalidNode;
+  std::uint64_t flow_id = 0;
+  ShuttleKind kind = ShuttleKind::kData;
+  /// Class of the destination ship as encoded in the address — the DCP
+  /// morphing decision is keyed on this ("based on the destination address
+  /// and on the class of the ship included in this address").
+  node::ShipClass dest_class_hint = node::ShipClass::kServer;
+  /// Interface/format the shuttle currently presents (morphing rewrites it).
+  std::uint32_t interface_id = 0;
+  std::uint8_t ttl = 64;
+};
+
+struct Shuttle {
+  ShuttleHeader header;
+
+  /// Digest of the processing routine this shuttle wants executed on
+  /// arrival; 0 means "no code" (plain data handled by the resident role).
+  Digest code_digest = 0;
+
+  /// Inline serialized program (kCode / kCodeReply shuttles, or capsules
+  /// that carry their own routine).
+  std::vector<std::byte> code_image;
+
+  /// Data payload in VM words; services also use it as abstract content.
+  std::vector<std::int64_t> payload;
+
+  /// Genetic section: TLV-encoded knowledge quanta or ship blueprints.
+  std::vector<std::byte> genome;
+
+  /// Remaining self-replications (jets only; 0 for ordinary shuttles).
+  std::uint32_t replication_budget = 0;
+
+  /// Keyed authorization tag over the code image (capsule authorization).
+  std::uint64_t auth_tag = 0;
+
+  /// Wire size used for transmission accounting: fixed header plus the
+  /// variable sections.
+  std::uint32_t WireSize() const;
+
+  /// Convenience constructors for the common kinds.
+  static Shuttle Data(net::NodeId src, net::NodeId dst,
+                      std::vector<std::int64_t> payload,
+                      std::uint64_t flow = 0);
+  static Shuttle CodeRequest(net::NodeId src, net::NodeId dst, Digest digest);
+};
+
+inline constexpr std::uint32_t kShuttleHeaderBytes = 32;
+
+}  // namespace viator::wli

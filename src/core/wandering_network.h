@@ -1,0 +1,217 @@
+// The Wandering Network orchestrator — the top-level public API.
+//
+// Owns the ships, the code origin store, the principle engines (DCP
+// morphing, SRP reputation/clustering, MFP feedback bus, PMP wanderers and
+// resonance), the overlay manager and the metamorphosis pulse. Transport is
+// delegated to net::Fabric over the caller's Topology; shuttles are routed
+// hop-by-hop along shortest paths unless a routing service overrides the
+// next-hop choice.
+//
+// Definition 1 in one type: a closed set of ship productions whose
+// composition/decomposition at all functional levels (Pulse()) recursively
+// re-constitutes the system and specifies its own extension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "core/dcp.h"
+#include "core/knowledge.h"
+#include "core/ledger.h"
+#include "core/mfp.h"
+#include "core/overlay.h"
+#include "core/pmp.h"
+#include "core/ship.h"
+#include "core/shuttle.h"
+#include "core/srp.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "vm/code_repository.h"
+
+namespace viator::wli {
+
+struct WnConfig {
+  /// Wandering Network generation (1..4, §B). Gates node capabilities and
+  /// which pulse mechanisms run (4G enables self-distribution/replication).
+  int generation = 4;
+
+  node::ResourceQuota quota;
+  FactStoreConfig fact_config;
+
+  /// Metamorphosis cadence: one pulse = sweep facts, expire functions,
+  /// horizontal + vertical wandering, resonance detection.
+  sim::Duration pulse_interval = 500 * sim::kMillisecond;
+
+  bool enable_horizontal = true;
+  bool enable_vertical = true;
+  bool enable_resonance = true;
+
+  HorizontalWanderer::Config horizontal;
+  VerticalWanderer::Config vertical;
+  ResonanceDetector::Config resonance;
+  ReputationConfig reputation;
+
+  /// Shared capsule-authorization key; 0 disables authorization checks.
+  std::uint64_t auth_key = 0;
+
+  /// Upper bound the security class clamps jet replication budgets to.
+  std::uint32_t jet_budget_cap = 16;
+};
+
+class WanderingNetwork {
+ public:
+  /// Borrows the simulator and topology (must outlive the network). `seed`
+  /// drives every stochastic choice in this network instance.
+  WanderingNetwork(sim::Simulator& simulator, net::Topology& topology,
+                   const WnConfig& config, std::uint64_t seed);
+
+  WanderingNetwork(const WanderingNetwork&) = delete;
+  WanderingNetwork& operator=(const WanderingNetwork&) = delete;
+
+  // ---- Population ----
+
+  /// Creates the ship living on physical node `node`.
+  Ship& AddShip(net::NodeId node,
+                node::ShipClass ship_class = node::ShipClass::kServer);
+
+  /// Creates one server ship per topology node.
+  void PopulateAllNodes();
+
+  Ship* ship(net::NodeId node);
+  const Ship* ship(net::NodeId node) const;
+  std::size_t ship_count() const { return ship_count_; }
+  /// Iterates ships in node order.
+  void ForEachShip(const std::function<void(Ship&)>& fn);
+
+  // ---- Code distribution ----
+
+  /// Verifies and stores a program at the network origin `origin` (the
+  /// publisher node demand-loading requests are sent to).
+  Result<Digest> PublishProgram(const vm::Program& program,
+                                net::NodeId origin);
+  const vm::Program* FindPublished(Digest digest) const;
+  net::NodeId OriginOf(Digest digest) const;
+
+  // ---- Transport ----
+
+  /// Injects a shuttle at its header source and routes it to destination.
+  Status Inject(Shuttle shuttle);
+
+  /// Routes `shuttle` one hop onward from `at` (used by ships; exposed for
+  /// routing services that precomputed the next hop themselves).
+  Status Dispatch(net::NodeId at, Shuttle shuttle);
+
+  /// Routing override: services may install a next-hop chooser; return
+  /// kInvalidNode to fall back to shortest path, or `at` itself to signal
+  /// that the chooser absorbed the shuttle (buffered it for later).
+  using NextHopChooser =
+      std::function<net::NodeId(net::NodeId at, const Shuttle&)>;
+  void SetNextHopChooser(NextHopChooser chooser) {
+    next_hop_chooser_ = std::move(chooser);
+  }
+
+  // ---- Function deployment and wandering ----
+
+  /// Installs `function` on `host` and registers its placement. Returns the
+  /// (possibly newly assigned) function id.
+  FunctionId DeployFunction(net::NodeId host, NetFunction function);
+
+  const std::map<FunctionId, net::NodeId>& placements() const {
+    return placements_;
+  }
+
+  /// Called by ships when a migrated function finishes installing.
+  void NotifyFunctionInstalled(net::NodeId host, const NetFunction& function);
+
+  /// Moves one function to a new host by shipping its code and genome as a
+  /// real code shuttle (it pays transfer bytes and latency; placement is
+  /// updated when the shuttle lands). Used by the horizontal wanderer and
+  /// by nomadic services (Delegation).
+  Status MigrateFunction(FunctionId function, net::NodeId to);
+
+  /// One metamorphosis cycle (also runs on the periodic pulse timer).
+  void Pulse();
+
+  /// Starts the periodic pulse until `until`.
+  void StartPulse(sim::TimePoint until);
+
+  // ---- Figure-1 metrics ----
+
+  /// Shannon entropy (bits) of the ship-role distribution.
+  double RoleDiversity() const;
+  std::map<node::FirstLevelRole, std::size_t> RoleCensus() const;
+
+  std::uint64_t migrations_executed() const { return migrations_executed_; }
+  std::uint64_t functions_emerged() const { return functions_emerged_; }
+  std::uint64_t pulses() const { return pulses_; }
+
+  // ---- Infrastructure access ----
+
+  sim::Simulator& simulator() { return simulator_; }
+  net::Topology& topology() { return topology_; }
+  net::Fabric& fabric() { return fabric_; }
+  sim::StatsRegistry& stats() { return stats_; }
+  sim::TraceSink& trace() { return trace_; }
+  MorphingEngine& morphing() { return morphing_; }
+  FeedbackBus& feedback() { return feedback_; }
+  ReputationSystem& reputation() { return reputation_; }
+  ClusterManager& clusters() { return clusters_; }
+  OverlayManager& overlays() { return overlays_; }
+  DemandTracker& demand() { return demand_; }
+  FunctionUsageLedger& ledger() { return ledger_; }
+  const FunctionUsageLedger& ledger() const { return ledger_; }
+  const WnConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+  FunctionId NextFunctionId() { return next_function_id_++; }
+
+ private:
+  void ExecuteMigrations();
+  net::NodeId FirstShipNode() const;
+
+  sim::Simulator& simulator_;
+  net::Topology& topology_;
+  WnConfig config_;
+  Rng rng_;
+  sim::StatsRegistry stats_;
+  sim::TraceSink trace_;
+  net::Fabric fabric_;
+
+  std::vector<std::unique_ptr<Ship>> ships_;  // indexed by NodeId
+  std::size_t ship_count_ = 0;
+
+  vm::CodeRepository repository_;
+  std::map<Digest, net::NodeId> origins_;
+
+  MorphingEngine morphing_;
+  FeedbackBus feedback_;
+  ReputationSystem reputation_;
+  ClusterManager clusters_;
+  OverlayManager overlays_;
+  DemandTracker demand_;
+  FunctionUsageLedger ledger_;
+  HorizontalWanderer horizontal_;
+  VerticalWanderer vertical_;
+  ResonanceDetector resonance_;
+
+  std::map<FunctionId, net::NodeId> placements_;
+  std::map<FunctionId, node::FirstLevelRole> placement_roles_;
+  std::map<node::SecondLevelClass, OverlayId> class_overlays_;
+
+  NextHopChooser next_hop_chooser_;
+
+  FunctionId next_function_id_ = 1;
+  std::uint64_t migrations_executed_ = 0;
+  std::uint64_t functions_emerged_ = 0;
+  std::uint64_t pulses_ = 0;
+};
+
+}  // namespace viator::wli

@@ -1,0 +1,169 @@
+#include "core/wanderlib.h"
+
+#include <string>
+
+#include "vm/assembler.h"
+#include "vm/verifier.h"
+
+namespace viator::wli::wanderlib {
+namespace {
+
+Result<vm::Program> AssembleVerified(std::string_view name,
+                                     const std::string& source) {
+  auto program = vm::Assemble(name, source);
+  if (!program.ok()) return program.status();
+  if (auto verified = vm::Verify(*program); !verified.ok()) {
+    return verified.status();
+  }
+  return program;
+}
+
+}  // namespace
+
+Result<vm::Program> HeartbeatProbe(std::int64_t fact_key,
+                                   std::int64_t reply_flow) {
+  const std::string source = R"(
+; heartbeat: store backlog fact, reply to source is emulated by send_value
+  sys queue_depth
+  store 0
+  push )" + std::to_string(fact_key) + R"(
+  load 0
+  push 100          ; weight 1.00
+  sys put_fact
+  pop
+; reply: send_value(dst=payload[0] carries the probe origin, tag, value)
+  push 0
+  sys payload       ; origin node id rides in payload[0]
+  push )" + std::to_string(reply_flow) + R"(
+  load 0
+  sys send_value
+  sys emit
+  halt
+)";
+  return AssembleVerified("wanderlib.heartbeat", source);
+}
+
+Result<vm::Program> FactPlanter() {
+  // locals: 0 = index, 1 = size, 2 = key, 3 = value
+  const std::string source = R"(
+  sys payload_size
+  store 1
+loop:
+  load 0
+  load 1
+  lt
+  jz done
+  load 0
+  sys payload
+  store 2
+  load 0
+  push 1
+  add
+  sys payload
+  store 3
+  load 2
+  load 3
+  push 200          ; weight 2.00
+  sys put_fact
+  pop
+  load 0
+  push 2
+  add
+  store 0
+  jmp loop
+done:
+  halt
+)";
+  return AssembleVerified("wanderlib.fact-planter", source);
+}
+
+Result<vm::Program> RoleBalancer(std::int64_t threshold_bytes) {
+  // Role indices mirror node::FirstLevelRole: 0 fusion, 2 caching.
+  const std::string source = R"(
+  sys queue_depth
+  push )" + std::to_string(threshold_bytes) + R"(
+  gt
+  jz calm
+  push 0            ; FirstLevelRole::kFusion
+  sys request_role
+  sys emit
+  halt
+calm:
+  push 2            ; FirstLevelRole::kCaching
+  sys request_role
+  sys emit
+  halt
+)";
+  return AssembleVerified("wanderlib.role-balancer", source);
+}
+
+Result<vm::Program> PayloadChecksum(std::int64_t fact_key) {
+  // locals: 0 = index, 1 = size, 2 = accumulator.
+  // fold: acc = acc * 31 + word, through a subroutine (call/ret showcase).
+  const std::string source = R"(
+  sys payload_size
+  store 1
+  push 7
+  store 2
+loop:
+  load 0
+  load 1
+  lt
+  jz done
+  call fold
+  load 0
+  push 1
+  add
+  store 0
+  jmp loop
+done:
+  load 2
+  sys emit
+  pop
+  push )" + std::to_string(fact_key) + R"(
+  load 2
+  push 100
+  sys put_fact
+  halt
+fold:
+  load 2
+  push 31
+  mul
+  load 0
+  sys payload
+  add
+  store 2
+  ret
+)";
+  return AssembleVerified("wanderlib.checksum", source);
+}
+
+Result<vm::Program> NeighborCensus(std::int64_t fact_key) {
+  // locals: 0 = loop index (counts down), 1 = neighbor id
+  const std::string source = R"(
+  sys neighbor_count
+  store 0
+  push )" + std::to_string(fact_key) + R"(
+  sys neighbor_count
+  push 150          ; weight 1.50
+  sys put_fact
+  pop
+spread:
+  load 0
+  jz done
+  load 0
+  push -1
+  add
+  store 0
+  load 0
+  sys neighbor
+  sys replicate     ; no-op unless riding a jet with budget
+  pop
+  jmp spread
+done:
+  halt
+)";
+  return AssembleVerified("wanderlib.neighbor-census", source);
+}
+
+}  // namespace viator::wli::wanderlib

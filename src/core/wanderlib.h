@@ -1,0 +1,46 @@
+// wanderlib: the standard library of WanderScript shuttle programs.
+//
+// The paper postulates "built-in primitives and behavioral patterns
+// available at each node" as one prerequisite of evolutionary active
+// networking (§A). wanderlib is that inventory: small, verified mobile
+// programs for the recurring behaviours — telemetry, fact gossip,
+// self-reconfiguration — written in WanderScript assembly so they travel
+// in shuttles like any user code. Every function returns an assembled and
+// *verified* Program; the digests are stable across runs (content
+// addressing), so ships can pre-warm their caches with the library.
+#pragma once
+
+#include "base/status.h"
+#include "vm/program.h"
+
+namespace viator::wli::wanderlib {
+
+/// Heartbeat probe: records the host's egress backlog as fact `fact_key`
+/// (weight 1.0) and sends the value back to the shuttle's source on flow
+/// `reply_flow`. Used for telemetry sweeps.
+Result<vm::Program> HeartbeatProbe(std::int64_t fact_key,
+                                   std::int64_t reply_flow);
+
+/// Fact planter: walks its payload as {key, value} pairs and stores each as
+/// a fact of weight 2.0 on the host. The gossip service's executable
+/// counterpart for actively seeding knowledge.
+Result<vm::Program> FactPlanter();
+
+/// Role balancer: if the host's egress backlog exceeds `threshold` bytes,
+/// requests the Fusion role (shed load by aggregating); otherwise requests
+/// Caching. Emits 1 if a switch was accepted. A self-reconfiguration
+/// pattern (DCP: packets processing nodes).
+Result<vm::Program> RoleBalancer(std::int64_t threshold_bytes);
+
+/// Payload checksum: folds the payload into a 63-bit FNV-style digest via a
+/// subroutine, emits it and stores it as fact `fact_key`. Exercises
+/// call/ret in transit-grade code.
+Result<vm::Program> PayloadChecksum(std::int64_t fact_key);
+
+/// Neighborhood census: counts the host's up neighbors, stores the count as
+/// fact `fact_key` and replicates itself to every neighbor when carried by
+/// a jet (bounded by the jet budget). The paper's "selective activation of
+/// the network topology" pattern.
+Result<vm::Program> NeighborCensus(std::int64_t fact_key);
+
+}  // namespace viator::wli::wanderlib

@@ -1,0 +1,116 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace viator::net {
+
+Fabric::Fabric(sim::Simulator& simulator, Topology& topology, Rng rng,
+               sim::StatsRegistry& stats)
+    : simulator_(simulator), topology_(topology), rng_(rng), stats_(stats) {}
+
+void Fabric::SetReceiveHandler(NodeId node, ReceiveHandler handler) {
+  if (handlers_.size() <= node) handlers_.resize(node + 1);
+  handlers_[node] = std::move(handler);
+}
+
+void Fabric::EnsureLinkState(LinkId id) {
+  if (directions_.size() <= id) {
+    directions_.resize(id + 1);
+    link_bytes_.resize(id + 1, 0);
+  }
+}
+
+Status Fabric::Send(Frame frame) {
+  const auto link_id = topology_.FindLink(frame.from, frame.to);
+  if (!link_id.has_value() || !topology_.IsNodeUp(frame.from) ||
+      !topology_.IsNodeUp(frame.to)) {
+    ++frames_dropped_;
+    stats_.GetCounter("fabric.drop_no_link").Add();
+    return NotFound("no up link for hop");
+  }
+  EnsureLinkState(*link_id);
+  const Link& link = topology_.link(*link_id);
+  const int dir_index = link.a == frame.from ? 0 : 1;
+  Direction& dir = directions_[*link_id][dir_index];
+
+  if (dir.queued_bytes + frame.size_bytes > link.config.queue_capacity_bytes) {
+    ++frames_dropped_;
+    stats_.GetCounter("fabric.drop_queue").Add();
+    return ResourceExhausted("tx queue overflow");
+  }
+
+  frame.frame_id = next_frame_id_++;
+  const double ser_seconds =
+      static_cast<double>(frame.size_bytes) * 8.0 / link.config.bandwidth_bps;
+  const sim::Duration ser = sim::FromSeconds(ser_seconds);
+  const sim::TimePoint start = std::max(simulator_.now(), dir.busy_until);
+  const sim::TimePoint depart = start + ser;
+  dir.busy_until = depart;
+  dir.queued_bytes += frame.size_bytes;
+
+  stats_.GetHistogram("fabric.queue_delay_ns")
+      .Record(static_cast<double>(start - simulator_.now()));
+  bytes_sent_ += frame.size_bytes;
+  stats_.GetCounter("fabric.frames_sent").Add();
+
+  const LinkId lid = *link_id;
+  const sim::Duration latency = link.config.latency;
+  const double loss = link.config.loss_probability;
+  const std::uint32_t size = frame.size_bytes;
+  const sim::TimePoint send_time = simulator_.now();
+
+  simulator_.ScheduleAt(depart, [this, lid, dir_index, size] {
+    directions_[lid][dir_index].queued_bytes -= size;
+    link_bytes_[lid] += size;
+  });
+
+  const bool lost = rng_.Bernoulli(loss);
+  if (lost) {
+    ++frames_dropped_;
+    stats_.GetCounter("fabric.frames_lost").Add();
+    return OkStatus();  // loss is a channel property, not a caller error
+  }
+
+  simulator_.ScheduleAt(
+      depart + latency, [this, frame = std::move(frame), lid, send_time] {
+        // Re-check link/node state at delivery time: a link that went down
+        // mid-flight loses the frame (models carrier loss).
+        if (!topology_.IsLinkUp(lid) || !topology_.IsNodeUp(frame.to)) {
+          ++frames_dropped_;
+          stats_.GetCounter("fabric.frames_lost").Add();
+          return;
+        }
+        ++frames_delivered_;
+        stats_.GetHistogram("fabric.hop_latency_ns")
+            .Record(static_cast<double>(simulator_.now() - send_time));
+        if (frame.to < handlers_.size() && handlers_[frame.to]) {
+          handlers_[frame.to](frame);
+        }
+      });
+  return OkStatus();
+}
+
+std::uint64_t Fabric::QueuedBytesAt(NodeId node) const {
+  std::uint64_t total = 0;
+  for (LinkId id : topology_.IncidentLinks(node)) {
+    if (id >= directions_.size()) continue;
+    const Link& link = topology_.link(id);
+    const int dir_index = link.a == node ? 0 : 1;
+    total += directions_[id][dir_index].queued_bytes;
+  }
+  return total;
+}
+
+std::size_t Fabric::Broadcast(NodeId node, Frame frame) {
+  std::size_t sent = 0;
+  for (NodeId neighbor : topology_.Neighbors(node)) {
+    Frame copy = frame;
+    copy.from = node;
+    copy.to = neighbor;
+    if (Send(std::move(copy)).ok()) ++sent;
+  }
+  return sent;
+}
+
+}  // namespace viator::net

@@ -1,0 +1,80 @@
+// The transmission engine: moves Frames across Topology links under the
+// Simulator clock, modelling per-direction serialization, queueing (drop-tail
+// on byte capacity), propagation latency and i.i.d. loss.
+//
+// Upper layers register one receive handler per node; everything above the
+// fabric (shuttle dispatch, routing, services) is driven from those handler
+// invocations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "net/topology.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace viator::net {
+
+class Fabric {
+ public:
+  using ReceiveHandler = std::function<void(const Frame&)>;
+
+  /// The fabric borrows the simulator, topology and stats registry; all must
+  /// outlive it. `rng` seeds the loss process.
+  Fabric(sim::Simulator& simulator, Topology& topology, Rng rng,
+         sim::StatsRegistry& stats);
+
+  /// Installs the receive callback for a node (replacing any previous one).
+  void SetReceiveHandler(NodeId node, ReceiveHandler handler);
+
+  /// Queues `frame` for transmission on the direct up link from frame.from
+  /// to frame.to. Fails fast (kNotFound) when no up link exists and
+  /// kResourceExhausted when the transmit queue would overflow; both count
+  /// as drops in the stats.
+  Status Send(Frame frame);
+
+  /// Sends a copy of `frame` to every current neighbor of `node` (frame.from
+  /// and frame.to are overwritten). Returns the number of copies queued.
+  std::size_t Broadcast(NodeId node, Frame frame);
+
+  /// Bytes that have finished serialization per link (both directions),
+  /// indexed by LinkId. Used by the fission/multicast experiments to report
+  /// per-link load.
+  const std::vector<std::uint64_t>& link_bytes() const { return link_bytes_; }
+
+  /// Bytes currently queued for transmission *from* `node` across all of
+  /// its incident links (the ship-visible egress backlog).
+  std::uint64_t QueuedBytesAt(NodeId node) const;
+
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Direction {
+    sim::TimePoint busy_until = 0;
+    std::uint64_t queued_bytes = 0;
+  };
+
+  void EnsureLinkState(LinkId id);
+
+  sim::Simulator& simulator_;
+  Topology& topology_;
+  Rng rng_;
+  sim::StatsRegistry& stats_;
+  std::vector<ReceiveHandler> handlers_;
+  std::vector<std::array<Direction, 2>> directions_;  // per link: a->b, b->a
+  std::vector<std::uint64_t> link_bytes_;
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace viator::net

@@ -1,0 +1,72 @@
+#include "net/failure.h"
+
+namespace viator::net {
+
+FailureInjector::FailureInjector(sim::Simulator& simulator, Topology& topology,
+                                 Rng rng)
+    : simulator_(simulator), topology_(topology), rng_(rng) {}
+
+void FailureInjector::Notify(const char* kind, std::uint32_t id, bool up) {
+  if (observer_) observer_(kind, id, up);
+}
+
+void FailureInjector::FailLink(LinkId link, sim::TimePoint at,
+                               sim::Duration outage) {
+  simulator_.ScheduleAt(at, [this, link, outage] {
+    topology_.SetLinkUp(link, false);
+    ++failures_injected_;
+    Notify("link", link, false);
+    if (outage > 0) {
+      simulator_.ScheduleAfter(outage, [this, link] {
+        topology_.SetLinkUp(link, true);
+        Notify("link", link, true);
+      });
+    }
+  });
+}
+
+void FailureInjector::FailNode(NodeId node, sim::TimePoint at,
+                               sim::Duration outage) {
+  simulator_.ScheduleAt(at, [this, node, outage] {
+    topology_.SetNodeUp(node, false);
+    ++failures_injected_;
+    Notify("node", node, false);
+    if (outage > 0) {
+      simulator_.ScheduleAfter(outage, [this, node] {
+        topology_.SetNodeUp(node, true);
+        Notify("node", node, true);
+      });
+    }
+  });
+}
+
+void FailureInjector::ScheduleLinkCycle(LinkId link, sim::TimePoint until,
+                                        sim::Duration mtbf,
+                                        sim::Duration mttr) {
+  const sim::Duration wait = sim::FromSeconds(
+      rng_.Exponential(sim::ToSeconds(mtbf)));
+  const sim::TimePoint fail_at = simulator_.now() + wait;
+  if (fail_at > until) return;
+  simulator_.ScheduleAt(fail_at, [this, link, until, mtbf, mttr] {
+    topology_.SetLinkUp(link, false);
+    ++failures_injected_;
+    Notify("link", link, false);
+    const sim::Duration repair =
+        sim::FromSeconds(rng_.Exponential(sim::ToSeconds(mttr)));
+    simulator_.ScheduleAfter(repair, [this, link, until, mtbf, mttr] {
+      topology_.SetLinkUp(link, true);
+      Notify("link", link, true);
+      ScheduleLinkCycle(link, until, mtbf, mttr);
+    });
+  });
+}
+
+void FailureInjector::StartRandomLinkFailures(sim::Duration mtbf,
+                                              sim::Duration mttr,
+                                              sim::TimePoint until) {
+  for (LinkId link = 0; link < topology_.link_count(); ++link) {
+    ScheduleLinkCycle(link, until, mtbf, mttr);
+  }
+}
+
+}  // namespace viator::net

@@ -1,0 +1,120 @@
+#include "net/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viator::net {
+
+RandomWaypointMobility::RandomWaypointMobility(std::size_t nodes,
+                                               const Config& config, Rng rng)
+    : config_(config), rng_(rng) {
+  positions_.resize(nodes);
+  states_.resize(nodes);
+  pinned_.resize(nodes, false);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    positions_[i] = {rng_.Uniform(0.0, config_.width_m),
+                     rng_.Uniform(0.0, config_.height_m)};
+    PickWaypoint(i);
+  }
+}
+
+void RandomWaypointMobility::PickWaypoint(std::size_t i) {
+  states_[i].target = {rng_.Uniform(0.0, config_.width_m),
+                       rng_.Uniform(0.0, config_.height_m)};
+  states_[i].speed =
+      rng_.Uniform(config_.min_speed_mps, config_.max_speed_mps);
+  states_[i].pause_left = 0.0;
+}
+
+void RandomWaypointMobility::Step(double dt_seconds) {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (pinned_[i]) continue;
+    NodeState& st = states_[i];
+    double dt = dt_seconds;
+    if (st.pause_left > 0.0) {
+      const double pause = std::min(st.pause_left, dt);
+      st.pause_left -= pause;
+      dt -= pause;
+      if (dt <= 0.0) continue;
+    }
+    Position& pos = positions_[i];
+    while (dt > 0.0) {
+      const double dist = Distance(pos, st.target);
+      const double reach = st.speed * dt;
+      if (reach >= dist) {
+        pos = st.target;
+        dt -= st.speed > 0.0 ? dist / st.speed : dt;
+        st.pause_left = config_.pause_s;
+        PickWaypoint(i);
+        // Spend the remaining time pausing rather than chaining legs; a
+        // sub-interval leg change is below the reconciliation cadence.
+        break;
+      }
+      const double frac = reach / dist;
+      pos.x += (st.target.x - pos.x) * frac;
+      pos.y += (st.target.y - pos.y) * frac;
+      dt = 0.0;
+    }
+  }
+}
+
+AdhocManager::AdhocManager(sim::Simulator& simulator, Topology& topology,
+                           RandomWaypointMobility mobility,
+                           double radio_range_m, sim::Duration update_interval,
+                           const LinkConfig& link_config)
+    : simulator_(simulator),
+      topology_(topology),
+      mobility_(std::move(mobility)),
+      range_(radio_range_m),
+      interval_(update_interval),
+      link_config_(link_config) {
+  // Establish the initial radio graph.
+  const auto& pos = mobility_.positions();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (Distance(pos[i], pos[j]) <= range_) {
+        const LinkId id = topology_.AddLink(static_cast<NodeId>(i),
+                                            static_cast<NodeId>(j),
+                                            link_config_);
+        pair_links_[{static_cast<NodeId>(i), static_cast<NodeId>(j)}] = id;
+      }
+    }
+  }
+}
+
+void AdhocManager::Update() {
+  mobility_.Step(sim::ToSeconds(interval_));
+  const auto& pos = mobility_.positions();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      const bool in_range = Distance(pos[i], pos[j]) <= range_;
+      const auto key =
+          std::make_pair(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      auto it = pair_links_.find(key);
+      if (in_range) {
+        if (it == pair_links_.end()) {
+          pair_links_[key] =
+              topology_.AddLink(key.first, key.second, link_config_);
+          ++link_transitions_;
+        } else if (!topology_.IsLinkUp(it->second)) {
+          topology_.SetLinkUp(it->second, true);
+          ++link_transitions_;
+        }
+      } else if (it != pair_links_.end() && topology_.IsLinkUp(it->second)) {
+        topology_.SetLinkUp(it->second, false);
+        ++link_transitions_;
+      }
+    }
+  }
+  if (on_update_) on_update_();
+}
+
+void AdhocManager::Start(sim::TimePoint until) {
+  until_ = until;
+  simulator_.ScheduleAfter(interval_, [this] {
+    Update();
+    if (simulator_.now() + interval_ <= until_) Start(until_);
+  });
+}
+
+}  // namespace viator::net

@@ -1,0 +1,94 @@
+// Node mobility for the ad-hoc experiments (paper §E: adaptive routing for
+// active ad-hoc wireless networks; ships are explicitly mobile).
+//
+// RandomWaypointMobility moves each node toward a uniformly drawn waypoint
+// at a uniformly drawn speed, pausing between legs. AdhocManager couples a
+// mobility model to a Topology: on a fixed cadence it advances positions and
+// reconciles the geometric radio graph (links toggle up/down as nodes move
+// in and out of range), so routing sees genuine churn.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace viator::net {
+
+class RandomWaypointMobility {
+ public:
+  struct Config {
+    double width_m = 1000.0;
+    double height_m = 1000.0;
+    double min_speed_mps = 1.0;
+    double max_speed_mps = 10.0;
+    double pause_s = 2.0;
+  };
+
+  RandomWaypointMobility(std::size_t nodes, const Config& config, Rng rng);
+
+  /// Advances every node by dt seconds of movement.
+  void Step(double dt_seconds);
+
+  const std::vector<Position>& positions() const { return positions_; }
+
+  /// Pins a node (e.g. a base station) so Step never moves it.
+  void Pin(std::size_t node) { pinned_[node] = true; }
+
+ private:
+  struct NodeState {
+    Position target;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+
+  void PickWaypoint(std::size_t i);
+
+  Config config_;
+  Rng rng_;
+  std::vector<Position> positions_;
+  std::vector<NodeState> states_;
+  std::vector<bool> pinned_;
+};
+
+/// Keeps a Topology's link set equal to the geometric radio graph of a
+/// moving node population. Link objects are created lazily per pair and then
+/// toggled up/down, so LinkIds stay stable for the fabric.
+class AdhocManager {
+ public:
+  AdhocManager(sim::Simulator& simulator, Topology& topology,
+               RandomWaypointMobility mobility, double radio_range_m,
+               sim::Duration update_interval, const LinkConfig& link_config);
+
+  /// Schedules the periodic update loop until `until`.
+  void Start(sim::TimePoint until);
+
+  /// One mobility + reconciliation step (also called by the loop).
+  void Update();
+
+  const RandomWaypointMobility& mobility() const { return mobility_; }
+
+  /// Number of link up/down transitions performed so far (churn measure).
+  std::uint64_t link_transitions() const { return link_transitions_; }
+
+  /// Invoked after each reconciliation with the set of changed pairs' count.
+  void set_on_update(std::function<void()> fn) { on_update_ = std::move(fn); }
+
+ private:
+  sim::Simulator& simulator_;
+  Topology& topology_;
+  RandomWaypointMobility mobility_;
+  double range_;
+  sim::Duration interval_;
+  LinkConfig link_config_;
+  std::map<std::pair<NodeId, NodeId>, LinkId> pair_links_;
+  std::uint64_t link_transitions_ = 0;
+  sim::TimePoint until_ = 0;
+  std::function<void()> on_update_;
+};
+
+}  // namespace viator::net

@@ -1,0 +1,272 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+namespace viator::net {
+
+NodeId Topology::AddNodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(node_count_);
+  node_count_ += count;
+  incident_.resize(node_count_);
+  node_up_.resize(node_count_, true);
+  return first;
+}
+
+LinkId Topology::AddLink(NodeId a, NodeId b, const LinkConfig& config) {
+  assert(a < node_count_ && b < node_count_ && a != b);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, config, true});
+  incident_[a].push_back(id);
+  incident_[b].push_back(id);
+  return id;
+}
+
+void Topology::SetNodeUp(NodeId node, bool up) { node_up_[node] = up; }
+
+std::optional<LinkId> Topology::FindLink(NodeId a, NodeId b) const {
+  if (!node_up_[a] || !node_up_[b]) return std::nullopt;
+  for (LinkId id : incident_[a]) {
+    const Link& l = links_[id];
+    if (!l.up) continue;
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::Neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  if (!node_up_[node]) return out;
+  for (LinkId id : incident_[node]) {
+    const Link& l = links_[id];
+    if (!l.up) continue;
+    const NodeId other = l.a == node ? l.b : l.a;
+    if (node_up_[other]) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<LinkId> Topology::IncidentLinks(NodeId node) const {
+  return incident_[node];
+}
+
+std::vector<NodeId> Topology::ShortestPath(NodeId a, NodeId b) const {
+  if (a >= node_count_ || b >= node_count_) return {};
+  if (!node_up_[a] || !node_up_[b]) return {};
+  if (a == b) return {a};
+  std::vector<NodeId> parent(node_count_, kInvalidNode);
+  std::deque<NodeId> frontier{a};
+  parent[a] = a;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : Neighbors(u)) {
+      if (parent[v] != kInvalidNode) continue;
+      parent[v] = u;
+      if (v == b) {
+        std::vector<NodeId> path{b};
+        for (NodeId at = b; at != a;) {
+          at = parent[at];
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return {};
+}
+
+std::vector<NodeId> Topology::FastestPath(NodeId a, NodeId b) const {
+  if (a >= node_count_ || b >= node_count_) return {};
+  if (!node_up_[a] || !node_up_[b]) return {};
+  if (a == b) return {a};
+  constexpr double kInf = 1e300;
+  std::vector<double> dist(node_count_, kInf);
+  std::vector<NodeId> parent(node_count_, kInvalidNode);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[a] = 0.0;
+  pq.push({0.0, a});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == b) break;
+    for (LinkId id : incident_[u]) {
+      const Link& l = links_[id];
+      if (!l.up) continue;
+      const NodeId v = l.a == u ? l.b : l.a;
+      if (!node_up_[v]) continue;
+      const double nd = d + static_cast<double>(l.config.latency);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (parent[b] == kInvalidNode) return {};
+  std::vector<NodeId> path{b};
+  for (NodeId at = b; at != a;) {
+    at = parent[at];
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+NodeId Topology::NextHop(NodeId from, NodeId to) const {
+  const auto path = ShortestPath(from, to);
+  return path.size() >= 2 ? path[1] : kInvalidNode;
+}
+
+bool Topology::IsConnected() const {
+  if (node_count_ == 0) return true;
+  NodeId start = kInvalidNode;
+  std::size_t up_nodes = 0;
+  for (NodeId n = 0; n < node_count_; ++n) {
+    if (node_up_[n]) {
+      ++up_nodes;
+      if (start == kInvalidNode) start = n;
+    }
+  }
+  if (up_nodes <= 1) return true;
+  std::vector<bool> seen(node_count_, false);
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : Neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      ++reached;
+      frontier.push_back(v);
+    }
+  }
+  return reached == up_nodes;
+}
+
+// ---- Generators -----------------------------------------------------------
+
+Topology MakeLine(std::size_t n, const LinkConfig& config) {
+  Topology t;
+  t.AddNodes(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), config);
+  }
+  return t;
+}
+
+Topology MakeRing(std::size_t n, const LinkConfig& config) {
+  Topology t = MakeLine(n, config);
+  if (n >= 3) t.AddLink(static_cast<NodeId>(n - 1), 0, config);
+  return t;
+}
+
+Topology MakeStar(std::size_t n, const LinkConfig& config) {
+  Topology t;
+  t.AddNodes(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    t.AddLink(0, static_cast<NodeId>(i), config);
+  }
+  return t;
+}
+
+Topology MakeGrid(std::size_t rows, std::size_t cols,
+                  const LinkConfig& config) {
+  Topology t;
+  t.AddNodes(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.AddLink(id(r, c), id(r, c + 1), config);
+      if (r + 1 < rows) t.AddLink(id(r, c), id(r + 1, c), config);
+    }
+  }
+  return t;
+}
+
+Topology MakeRandom(std::size_t n, double p, Rng& rng,
+                    const LinkConfig& config) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Topology t;
+    t.AddNodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(p)) {
+          t.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), config);
+        }
+      }
+    }
+    if (t.IsConnected()) return t;
+  }
+  // Fall back to a connected backbone plus random chords.
+  Topology t = MakeLine(n, config);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (rng.Bernoulli(p)) {
+        t.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), config);
+      }
+    }
+  }
+  return t;
+}
+
+Topology MakeScaleFree(std::size_t n, std::size_t m, Rng& rng,
+                       const LinkConfig& config) {
+  assert(n >= 2 && m >= 1);
+  Topology t;
+  t.AddNodes(n);
+  // Endpoint list doubles as the preferential-attachment distribution.
+  std::vector<NodeId> endpoints;
+  t.AddLink(0, 1, config);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (std::size_t v = 2; v < n; ++v) {
+    const std::size_t degree_edges = std::min(m, v);
+    std::vector<NodeId> chosen;
+    while (chosen.size() < degree_edges) {
+      const NodeId u = endpoints[rng.Index(endpoints.size())];
+      if (u == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), u) != chosen.end()) continue;
+      chosen.push_back(u);
+    }
+    for (NodeId u : chosen) {
+      t.AddLink(static_cast<NodeId>(v), u, config);
+      endpoints.push_back(static_cast<NodeId>(v));
+      endpoints.push_back(u);
+    }
+  }
+  return t;
+}
+
+double Distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology MakeGeometric(const std::vector<Position>& positions, double range,
+                       const LinkConfig& config) {
+  Topology t;
+  t.AddNodes(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (Distance(positions[i], positions[j]) <= range) {
+        t.AddLink(static_cast<NodeId>(i), static_cast<NodeId>(j), config);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace viator::net

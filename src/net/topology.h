@@ -1,0 +1,120 @@
+// Physical topology: a mutable multigraph of nodes and full-duplex links
+// with bandwidth, propagation latency, loss and queue capacity, plus the
+// standard generator family (line, ring, star, grid, random, geometric,
+// Barabási–Albert) and shortest-path queries.
+//
+// Links can be brought up/down and added at runtime — mobility and failure
+// injection mutate the same structure the fabric routes over, which is what
+// lets the Wandering Network's "topology-on-demand" react to real change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.h"
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace viator::net {
+
+/// Full-duplex point-to-point link parameters.
+struct LinkConfig {
+  double bandwidth_bps = 100e6;            // per direction
+  sim::Duration latency = sim::kMillisecond;  // propagation, per direction
+  double loss_probability = 0.0;           // i.i.d. frame loss
+  std::uint32_t queue_capacity_bytes = 1 << 20;  // per-direction tx queue
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  LinkConfig config;
+  bool up = true;
+};
+
+class Topology {
+ public:
+  /// Creates `count` fresh nodes; returns the id of the first.
+  NodeId AddNodes(std::size_t count);
+
+  /// Connects a and b (must exist, distinct). Returns the link id.
+  LinkId AddLink(NodeId a, NodeId b, const LinkConfig& config = {});
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t link_count() const { return links_.size(); }
+
+  const Link& link(LinkId id) const { return links_[id]; }
+
+  void SetLinkUp(LinkId id, bool up) { links_[id].up = up; }
+  bool IsLinkUp(LinkId id) const { return links_[id].up; }
+
+  /// Marks every link touching `node` down (node failure) or up again.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const { return node_up_[node]; }
+
+  /// The up link between a and b if one exists.
+  std::optional<LinkId> FindLink(NodeId a, NodeId b) const;
+
+  /// Up neighbors of `node` (only via up links, both endpoints up).
+  std::vector<NodeId> Neighbors(NodeId node) const;
+
+  /// All link ids incident to `node`.
+  std::vector<LinkId> IncidentLinks(NodeId node) const;
+
+  /// Hop-count shortest path a→b over up links; empty if disconnected.
+  /// The returned path includes both endpoints.
+  std::vector<NodeId> ShortestPath(NodeId a, NodeId b) const;
+
+  /// Latency-weighted shortest path (Dijkstra over link latency).
+  std::vector<NodeId> FastestPath(NodeId a, NodeId b) const;
+
+  /// Next hop on the hop-count shortest path, or kInvalidNode.
+  NodeId NextHop(NodeId from, NodeId to) const;
+
+  /// True when every node can reach every other over up links.
+  bool IsConnected() const;
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> incident_;  // node -> link ids
+  std::vector<bool> node_up_;
+};
+
+// ---- Generators -----------------------------------------------------------
+
+/// N nodes in a chain: 0-1-2-...-(n-1).
+Topology MakeLine(std::size_t n, const LinkConfig& config = {});
+
+/// N nodes in a cycle.
+Topology MakeRing(std::size_t n, const LinkConfig& config = {});
+
+/// Hub-and-spoke: node 0 is the hub.
+Topology MakeStar(std::size_t n, const LinkConfig& config = {});
+
+/// rows × cols mesh with 4-neighborhood.
+Topology MakeGrid(std::size_t rows, std::size_t cols,
+                  const LinkConfig& config = {});
+
+/// Erdős–Rényi-style random graph with edge probability p, re-drawn (up to a
+/// bounded number of attempts) until connected.
+Topology MakeRandom(std::size_t n, double p, Rng& rng,
+                    const LinkConfig& config = {});
+
+/// Barabási–Albert preferential attachment with m edges per new node.
+Topology MakeScaleFree(std::size_t n, std::size_t m, Rng& rng,
+                       const LinkConfig& config = {});
+
+/// Geometric radio graph over given positions: link iff distance <= range.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+Topology MakeGeometric(const std::vector<Position>& positions, double range,
+                       const LinkConfig& config = {});
+
+/// Euclidean distance helper shared with the mobility model.
+double Distance(const Position& a, const Position& b);
+
+}  // namespace viator::net

@@ -1,0 +1,29 @@
+// Identifiers and the link-layer transport unit shared by the network layer.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <limits>
+
+namespace viator::net {
+
+/// Dense node index within one topology (0..N-1).
+using NodeId = std::uint32_t;
+
+/// Dense link index within one topology.
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Link-layer transport unit. The fabric moves Frames hop by hop; upper
+/// layers (shuttles, code-distribution messages) ride in `payload`.
+struct Frame {
+  NodeId from = kInvalidNode;     // transmitting node of this hop
+  NodeId to = kInvalidNode;       // receiving node of this hop
+  std::uint32_t size_bytes = 64;  // wire size incl. headers
+  std::uint64_t frame_id = 0;     // unique per fabric, for traces
+  std::any payload;               // upper-layer content (value semantics)
+};
+
+}  // namespace viator::net

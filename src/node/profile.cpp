@@ -1,0 +1,66 @@
+#include "node/profile.h"
+
+namespace viator::node {
+
+std::string_view FirstLevelRoleName(FirstLevelRole role) {
+  switch (role) {
+    case FirstLevelRole::kFusion: return "fusion";
+    case FirstLevelRole::kFission: return "fission";
+    case FirstLevelRole::kCaching: return "caching";
+    case FirstLevelRole::kDelegation: return "delegation";
+    case FirstLevelRole::kReplication: return "replication";
+    case FirstLevelRole::kNextStep: return "next-step";
+    case FirstLevelRole::kRoleCount: break;
+  }
+  return "?";
+}
+
+std::string_view SecondLevelClassName(SecondLevelClass cls) {
+  switch (cls) {
+    case SecondLevelClass::kFiltering: return "filtering";
+    case SecondLevelClass::kCombining: return "combining";
+    case SecondLevelClass::kTranscoding: return "transcoding";
+    case SecondLevelClass::kSecurityManagement: return "security+mgmt";
+    case SecondLevelClass::kBoosting: return "boosting";
+    case SecondLevelClass::kRoutingPropagation: return "routing/propagation";
+    case SecondLevelClass::kSupplementary: return "supplementary";
+    case SecondLevelClass::kClassCount: break;
+  }
+  return "?";
+}
+
+std::string_view ShipClassName(ShipClass cls) {
+  switch (cls) {
+    case ShipClass::kServer: return "server";
+    case ShipClass::kClient: return "client";
+    case ShipClass::kAgent: return "agent";
+  }
+  return "?";
+}
+
+std::string_view SwitchMechanismName(SwitchMechanism mechanism) {
+  switch (mechanism) {
+    case SwitchMechanism::kResidentSoftware: return "resident-sw";
+    case SwitchMechanism::kTransportedCode: return "transported-code";
+    case SwitchMechanism::kHardwareReconfig: return "hw-reconfig";
+    case SwitchMechanism::kNetbotDock: return "netbot-dock";
+  }
+  return "?";
+}
+
+SecondLevelClass DefaultClassFor(FirstLevelRole role) {
+  switch (role) {
+    case FirstLevelRole::kFusion: return SecondLevelClass::kFiltering;
+    case FirstLevelRole::kFission: return SecondLevelClass::kCombining;
+    case FirstLevelRole::kCaching: return SecondLevelClass::kSupplementary;
+    case FirstLevelRole::kDelegation: return SecondLevelClass::kBoosting;
+    case FirstLevelRole::kReplication:
+      return SecondLevelClass::kRoutingPropagation;
+    case FirstLevelRole::kNextStep:
+      return SecondLevelClass::kSecurityManagement;
+    case FirstLevelRole::kRoleCount: break;
+  }
+  return SecondLevelClass::kSupplementary;
+}
+
+}  // namespace viator::node

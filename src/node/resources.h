@@ -1,0 +1,56 @@
+// NodeOS resource accounting.
+//
+// "Since each active node controls its own resources" (§C, MFP) — each ship
+// enforces quotas on CPU fuel, memory, and shuttle-queue occupancy. The
+// accountant is pure bookkeeping: callers charge/release and get a Status.
+#pragma once
+
+#include <cstdint>
+
+#include "base/status.h"
+
+namespace viator::node {
+
+struct ResourceQuota {
+  std::uint64_t fuel_per_capsule = 100000;    // VM fuel per shuttle execution
+  std::uint64_t fuel_per_epoch = 10'000'000;  // aggregate CPU budget per epoch
+  std::uint64_t memory_bytes = 1 << 20;       // fact store + resident data
+  std::uint64_t code_cache_bytes = 64 << 10;  // resident program bytes
+  std::uint32_t max_resident_programs = 64;
+  std::uint32_t max_pending_shuttles = 256;   // waiting for code / EE slot
+};
+
+class ResourceAccountant {
+ public:
+  explicit ResourceAccountant(const ResourceQuota& quota) : quota_(quota) {}
+
+  const ResourceQuota& quota() const { return quota_; }
+
+  /// Charges `fuel` against the epoch budget.
+  Status ChargeFuel(std::uint64_t fuel);
+
+  /// Resets the epoch fuel counter (called by the NodeOS epoch timer).
+  void BeginEpoch() { epoch_fuel_used_ = 0; }
+
+  /// Charges/releases resident memory.
+  Status ChargeMemory(std::uint64_t bytes);
+  void ReleaseMemory(std::uint64_t bytes);
+
+  /// Pending-shuttle slots (code-wait queue).
+  Status AcquirePendingSlot();
+  void ReleasePendingSlot();
+
+  std::uint64_t epoch_fuel_used() const { return epoch_fuel_used_; }
+  std::uint64_t total_fuel_used() const { return total_fuel_used_; }
+  std::uint64_t memory_used() const { return memory_used_; }
+  std::uint32_t pending_shuttles() const { return pending_shuttles_; }
+
+ private:
+  ResourceQuota quota_;
+  std::uint64_t epoch_fuel_used_ = 0;
+  std::uint64_t total_fuel_used_ = 0;
+  std::uint64_t memory_used_ = 0;
+  std::uint32_t pending_shuttles_ = 0;
+};
+
+}  // namespace viator::node

@@ -1,0 +1,73 @@
+// Accounting (network-management class: "event reporting, accounting,
+// configuration management and workload monitoring"; §C names billing as a
+// use of the network's long-term memory).
+//
+// AccountingService samples every ship's resource consumption (VM fuel,
+// code-cache bytes, shuttles served) on a fixed cadence and accumulates
+// per-ship charge records against a configurable tariff. The result is the
+// billing view of the Wandering Network: who consumed what, and what the
+// wandering functions cost where they ran.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+/// Price table. Units are nano-credits to keep everything integral.
+struct Tariff {
+  std::uint64_t per_megafuel = 50;        // per 1e6 VM fuel units
+  std::uint64_t per_kib_code_cached = 2;  // per KiB resident code
+  std::uint64_t per_shuttle_consumed = 1;
+  std::uint64_t per_role_switch = 10;
+};
+
+class AccountingService {
+ public:
+  struct Charges {
+    std::uint64_t fuel_credits = 0;
+    std::uint64_t cache_credits = 0;
+    std::uint64_t shuttle_credits = 0;
+    std::uint64_t reconfig_credits = 0;
+    std::uint64_t total() const {
+      return fuel_credits + cache_credits + shuttle_credits +
+             reconfig_credits;
+    }
+  };
+
+  AccountingService(wli::WanderingNetwork& network, const Tariff& tariff,
+                    sim::Duration interval);
+
+  /// Starts the periodic metering loop until `until`.
+  void Start(sim::TimePoint until);
+
+  /// One metering pass (also called by the loop): charges each ship for
+  /// consumption since its previous pass.
+  void MeterOnce();
+
+  /// Accumulated charges for one ship.
+  Charges ChargesFor(net::NodeId ship) const;
+
+  /// Total credits billed across the network.
+  std::uint64_t TotalBilled() const;
+
+  std::uint64_t metering_passes() const { return passes_; }
+
+ private:
+  struct Baseline {
+    std::uint64_t fuel = 0;
+    std::uint64_t shuttles = 0;
+    std::uint64_t switches = 0;
+  };
+
+  wli::WanderingNetwork& network_;
+  Tariff tariff_;
+  sim::Duration interval_;
+  std::map<net::NodeId, Charges> charges_;
+  std::map<net::NodeId, Baseline> baselines_;
+  std::uint64_t passes_ = 0;
+};
+
+}  // namespace viator::services

@@ -1,0 +1,79 @@
+// Caching: "the active node stores incoming data for later use upon
+// request, e.g. storage of web pages for local processing and reducing the
+// data flow" (§D).
+//
+// Protocol (payload word 0 is the opcode):
+//   GET  {1, content_id}                requester -> cache or origin
+//   PUT  {2, content_id, requester, data...}   origin -> cache (reply path)
+//   DATA {3, content_id, data...}       cache/origin -> requester
+//
+// The cache proxy serves hits locally and forwards misses to the origin,
+// learning the object on the reply path (LRU, bounded object count).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+inline constexpr std::int64_t kCacheOpGet = 1;
+inline constexpr std::int64_t kCacheOpPut = 2;
+inline constexpr std::int64_t kCacheOpData = 3;
+
+/// Origin server: owns all content; answers GETs with the object bytes.
+class ContentOrigin {
+ public:
+  /// Objects are synthesized deterministically: `object_words` payload words
+  /// derived from the content id.
+  ContentOrigin(wli::WanderingNetwork& network, net::NodeId node,
+                std::size_t object_words = 64);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  net::NodeId node() const { return node_; }
+
+  /// The deterministic object body for a content id (shared with tests).
+  static std::vector<std::int64_t> ObjectBody(std::uint64_t content_id,
+                                              std::size_t words);
+
+ private:
+  void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  std::size_t object_words_;
+  std::uint64_t requests_served_ = 0;
+};
+
+/// In-network cache proxy in front of an origin.
+class CachingService {
+ public:
+  CachingService(wli::WanderingNetwork& network, net::NodeId node,
+                 net::NodeId origin, std::size_t capacity_objects = 64);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double HitRatio() const;
+
+ private:
+  void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
+  void StoreObject(std::uint64_t content_id, std::vector<std::int64_t> body);
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  net::NodeId origin_;
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::map<std::uint64_t, std::pair<std::vector<std::int64_t>,
+                                    std::list<std::uint64_t>::iterator>>
+      objects_;
+  // Requesters waiting per in-flight miss.
+  std::map<std::uint64_t, std::vector<net::NodeId>> pending_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace viator::services

@@ -1,0 +1,93 @@
+#include "services/combining.h"
+
+namespace viator::services {
+
+// Carrier payload layout:
+//   {kMuxMarker, count, (flow, length, words...) x count}
+
+CombiningService::CombiningService(wli::WanderingNetwork& network,
+                                   net::NodeId node, const Config& config)
+    : network_(network), node_(node), config_(config) {
+  wli::Ship* combiner = network_.ship(node);
+  if (combiner != nullptr) {
+    (void)combiner->SwitchRole(node::FirstLevelRole::kFission,
+                               node::SwitchMechanism::kResidentSoftware);
+    combiner->SetRoleHandler(
+        node::FirstLevelRole::kFission,
+        [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+          OnCombine(s, shuttle);
+        });
+  }
+  wli::Ship* demuxer = network_.ship(config_.sink);
+  if (demuxer != nullptr) {
+    (void)demuxer->SwitchRole(node::FirstLevelRole::kDelegation,
+                              node::SwitchMechanism::kResidentSoftware);
+    demuxer->SetRoleHandler(
+        node::FirstLevelRole::kDelegation,
+        [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+          OnDemux(s, shuttle);
+        });
+  }
+}
+
+void CombiningService::OnCombine(wli::Ship& ship,
+                                 const wli::Shuttle& shuttle) {
+  if (shuttle.payload.empty()) return;
+  ++shuttles_in_;
+  bytes_in_ += shuttle.WireSize();
+  network_.demand().Record(node_, node::FirstLevelRole::kFission, 1.0);
+  held_.push_back(Held{shuttle.header.flow_id, shuttle.payload});
+  if (held_.size() == 1) {
+    window_timer_ = network_.simulator().ScheduleAfter(
+        config_.window, [this] { Flush(); });
+  }
+  if (held_.size() >= config_.batch_size) {
+    window_timer_.Cancel();
+    Flush();
+  }
+  (void)ship;
+}
+
+void CombiningService::Flush() {
+  if (held_.empty()) return;
+  wli::Ship* ship = network_.ship(node_);
+  if (ship == nullptr) return;
+  std::vector<std::int64_t> carrier_payload = {
+      kMuxMarker, static_cast<std::int64_t>(held_.size())};
+  for (const Held& held : held_) {
+    carrier_payload.push_back(static_cast<std::int64_t>(held.flow));
+    carrier_payload.push_back(static_cast<std::int64_t>(held.payload.size()));
+    carrier_payload.insert(carrier_payload.end(), held.payload.begin(),
+                           held.payload.end());
+  }
+  held_.clear();
+  wli::Shuttle carrier = wli::Shuttle::Data(node_, config_.sink,
+                                            std::move(carrier_payload),
+                                            /*flow=*/kMuxMarker);
+  bytes_out_ += carrier.WireSize();
+  ++carriers_out_;
+  (void)ship->SendShuttle(std::move(carrier));
+}
+
+void CombiningService::OnDemux(wli::Ship& ship, const wli::Shuttle& shuttle) {
+  if (shuttle.payload.size() < 2 || shuttle.payload[0] != kMuxMarker) return;
+  const auto count = static_cast<std::size_t>(shuttle.payload[1]);
+  std::size_t at = 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (at + 2 > shuttle.payload.size()) return;  // malformed: stop
+    const auto flow = static_cast<std::uint64_t>(shuttle.payload[at]);
+    const auto length = static_cast<std::size_t>(shuttle.payload[at + 1]);
+    at += 2;
+    if (at + length > shuttle.payload.size()) return;
+    std::vector<std::int64_t> body(shuttle.payload.begin() + at,
+                                   shuttle.payload.begin() + at + length);
+    at += length;
+    ++demuxed_;
+    // Restore the original shuttle locally at the sink: it surfaces through
+    // the sink's delivery path (self-addressed data shuttle).
+    (void)ship.SendShuttle(
+        wli::Shuttle::Data(config_.sink, config_.sink, std::move(body), flow));
+  }
+}
+
+}  // namespace viator::services

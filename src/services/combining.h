@@ -1,0 +1,72 @@
+// Combining (Kulkarni & Minden's second protocol class): "joining packets
+// from the same stream or from different streams."
+//
+// Where fusion *aggregates values* within one flow, the combiner
+// *multiplexes shuttles* across flows: shuttles headed for the same sink
+// that arrive within a window are packed into one carrier shuttle, saving
+// the per-shuttle header cost on every downstream hop; a peer demuxer at
+// the sink side restores the original shuttles. The gain is
+// (n·header)/(header + n·body) — biggest for small payloads, which is
+// exactly the telemetry/sensor case the paper's fusion-server motivation
+// describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+/// Leading payload word identifying a mux carrier shuttle.
+inline constexpr std::int64_t kMuxMarker = 0x30c;
+
+class CombiningService {
+ public:
+  struct Config {
+    net::NodeId sink = net::kInvalidNode;  // where the demuxer lives
+    std::size_t batch_size = 8;            // shuttles per carrier
+    sim::Duration window = 50 * sim::kMillisecond;
+  };
+
+  /// Installs the combiner (fission role slot) at `node` and the demuxer
+  /// (delegation role slot) at `config.sink`. Demuxed shuttles surface at
+  /// the sink's delivery sink with their original flow ids.
+  CombiningService(wli::WanderingNetwork& network, net::NodeId node,
+                   const Config& config);
+
+  std::uint64_t shuttles_in() const { return shuttles_in_; }
+  std::uint64_t carriers_out() const { return carriers_out_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+  std::uint64_t demuxed() const { return demuxed_; }
+
+  /// Header-byte savings so far (bytes_in - bytes_out).
+  std::int64_t BytesSaved() const {
+    return static_cast<std::int64_t>(bytes_in_) -
+           static_cast<std::int64_t>(bytes_out_);
+  }
+
+ private:
+  void OnCombine(wli::Ship& ship, const wli::Shuttle& shuttle);
+  void OnDemux(wli::Ship& ship, const wli::Shuttle& shuttle);
+  void Flush();
+
+  struct Held {
+    std::uint64_t flow = 0;
+    std::vector<std::int64_t> payload;
+  };
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  Config config_;
+  std::vector<Held> held_;
+  sim::EventHandle window_timer_;
+  std::uint64_t shuttles_in_ = 0;
+  std::uint64_t carriers_out_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t demuxed_ = 0;
+};
+
+}  // namespace viator::services

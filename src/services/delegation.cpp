@@ -1,0 +1,72 @@
+#include "services/delegation.h"
+
+namespace viator::services {
+
+NomadicDelegation::NomadicDelegation(wli::WanderingNetwork& network,
+                                     net::NodeId initial_host,
+                                     const Config& config)
+    : network_(network), config_(config) {
+  wli::NetFunction fn;
+  fn.name = "unified-messaging";
+  fn.role = node::FirstLevelRole::kDelegation;
+  fn.cls = node::SecondLevelClass::kBoosting;
+  function_id_ = network_.DeployFunction(initial_host, fn);
+
+  // Any ship may become the host after a migration, so every ship gets the
+  // delegation handler; only the ship actually hosting the function (and
+  // holding the delegation role) will receive user requests.
+  network_.ForEachShip([this](wli::Ship& ship) {
+    ship.SetRoleHandler(
+        node::FirstLevelRole::kDelegation,
+        [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+          OnRequest(s, shuttle);
+        });
+  });
+}
+
+net::NodeId NomadicDelegation::host() const {
+  const auto it = network_.placements().find(function_id_);
+  return it == network_.placements().end() ? net::kInvalidNode : it->second;
+}
+
+void NomadicDelegation::UserMovedTo(net::NodeId attach) {
+  const net::NodeId current = host();
+  if (current == net::kInvalidNode) return;
+  const auto path = network_.topology().ShortestPath(current, attach);
+  if (path.empty()) return;
+  const std::uint32_t distance = static_cast<std::uint32_t>(path.size() - 1);
+  if (distance <= config_.max_distance_hops) return;
+  if (network_.MigrateFunction(function_id_, attach).ok()) {
+    ++migrations_;
+  }
+}
+
+Status NomadicDelegation::SendRequest(net::NodeId attach,
+                                      std::uint64_t request_id) {
+  const net::NodeId current = host();
+  if (current == net::kInvalidNode) {
+    return NotFound("messaging function has no host");
+  }
+  wli::Shuttle request = wli::Shuttle::Data(
+      attach, current,
+      {kDelegationRequest, static_cast<std::int64_t>(request_id)},
+      request_id);
+  return network_.Inject(std::move(request));
+}
+
+void NomadicDelegation::OnRequest(wli::Ship& ship,
+                                  const wli::Shuttle& shuttle) {
+  if (shuttle.payload.size() < 2 ||
+      shuttle.payload[0] != kDelegationRequest) {
+    return;  // replies and foreign traffic are not re-answered
+  }
+  ++requests_answered_;
+  network_.demand().Record(ship.id(), node::FirstLevelRole::kDelegation, 1.0);
+  // Answer back to the requester with the request id echoed.
+  wli::Shuttle reply = wli::Shuttle::Data(
+      ship.id(), shuttle.header.source,
+      {kDelegationReply, shuttle.payload[1]}, shuttle.header.flow_id);
+  (void)ship.SendShuttle(std::move(reply));
+}
+
+}  // namespace viator::services

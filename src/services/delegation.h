@@ -1,0 +1,57 @@
+// Delegation: "the active node is performing tasks on behalf of another
+// active node ... e.g. becoming a unified messaging node which migrates
+// closer to a nomadic user while she moves" (§D).
+//
+// NomadicDelegation deploys a unified-messaging function and keeps it near a
+// roaming user: whenever the user's attachment point drifts more than
+// `max_distance_hops` from the function's host, the function migrates (as a
+// real code shuttle through WanderingNetwork::MigrateFunction). User
+// requests are answered by the current host; the E6 bench compares request
+// RTT against a pinned (non-nomadic) deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+/// Payload opcodes of the delegation request/reply protocol.
+inline constexpr std::int64_t kDelegationRequest = 1;
+inline constexpr std::int64_t kDelegationReply = 2;
+
+class NomadicDelegation {
+ public:
+  struct Config {
+    std::uint32_t max_distance_hops = 1;  // migrate when farther than this
+  };
+
+  /// Deploys the messaging function at `initial_host` and installs request
+  /// handlers on every ship (any ship can end up hosting it).
+  NomadicDelegation(wli::WanderingNetwork& network, net::NodeId initial_host,
+                    const Config& config);
+
+  /// Reports that the user now attaches at `attach`; migrates if too far.
+  void UserMovedTo(net::NodeId attach);
+
+  /// Sends a user request from the attachment point to the current host.
+  /// The host's handler answers with a reply shuttle to the requester.
+  Status SendRequest(net::NodeId attach, std::uint64_t request_id);
+
+  net::NodeId host() const;
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t requests_answered() const { return requests_answered_; }
+
+  wli::FunctionId function_id() const { return function_id_; }
+
+ private:
+  void OnRequest(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  wli::WanderingNetwork& network_;
+  Config config_;
+  wli::FunctionId function_id_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t requests_answered_ = 0;
+};
+
+}  // namespace viator::services

@@ -1,0 +1,61 @@
+#include "services/fission.h"
+
+#include <algorithm>
+
+namespace viator::services {
+
+FissionService::FissionService(wli::WanderingNetwork& network,
+                               net::NodeId node)
+    : network_(network), node_(node) {
+  wli::Ship* ship = network_.ship(node);
+  if (ship == nullptr) return;
+  (void)ship->SwitchRole(node::FirstLevelRole::kFission,
+                         node::SwitchMechanism::kResidentSoftware);
+  ship->SetRoleHandler(
+      node::FirstLevelRole::kFission,
+      [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+        OnShuttle(s, shuttle);
+      });
+}
+
+void FissionService::Subscribe(std::uint64_t group, net::NodeId subscriber) {
+  auto& members = groups_[group];
+  if (std::find(members.begin(), members.end(), subscriber) ==
+      members.end()) {
+    members.push_back(subscriber);
+  }
+}
+
+void FissionService::Unsubscribe(std::uint64_t group, net::NodeId subscriber) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  it->second.erase(
+      std::remove(it->second.begin(), it->second.end(), subscriber),
+      it->second.end());
+}
+
+std::size_t FissionService::SubscriberCount(std::uint64_t group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+void FissionService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
+  const auto it = groups_.find(shuttle.header.flow_id);
+  if (it == groups_.end()) return;
+  network_.demand().Record(node_, node::FirstLevelRole::kFission,
+                           static_cast<double>(it->second.size()));
+  std::uint64_t branch = 0;
+  for (net::NodeId subscriber : it->second) {
+    wli::Shuttle copy = shuttle;
+    copy.header.source = node_;
+    copy.header.destination = subscriber;
+    copy.header.ttl = 64;
+    ++duplicated_;
+    network_.feedback().Publish(wli::FeedbackSignal{
+        wli::FeedbackDimension::kPerMulticastBranch, node_, branch++, 1.0,
+        network_.simulator().now()});
+    (void)ship.SendShuttle(std::move(copy));
+  }
+}
+
+}  // namespace viator::services

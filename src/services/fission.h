@@ -1,0 +1,38 @@
+// Fission: "the active node is delivering more data than it receives" (§D)
+// — in-network multicast. One shuttle arrives for a group; the fission node
+// duplicates it to every subscriber, so upstream links carry the content
+// once instead of once per receiver (the baseline comparison of E6).
+//
+// Each duplication publishes a per-multicast-branch feedback signal (MFP),
+// which the E15 ablation taps for branch-level congestion adaptation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+class FissionService {
+ public:
+  FissionService(wli::WanderingNetwork& network, net::NodeId node);
+
+  /// Adds a subscriber for `group` (shuttle flow_id identifies the group).
+  void Subscribe(std::uint64_t group, net::NodeId subscriber);
+  void Unsubscribe(std::uint64_t group, net::NodeId subscriber);
+
+  std::size_t SubscriberCount(std::uint64_t group) const;
+  std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  std::map<std::uint64_t, std::vector<net::NodeId>> groups_;
+  std::uint64_t duplicated_ = 0;
+};
+
+}  // namespace viator::services

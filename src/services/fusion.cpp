@@ -1,0 +1,57 @@
+#include "services/fusion.h"
+
+#include <algorithm>
+
+namespace viator::services {
+
+FusionService::FusionService(wli::WanderingNetwork& network, net::NodeId node,
+                             const Config& config)
+    : network_(network), node_(node), config_(config) {
+  wli::Ship* ship = network_.ship(node);
+  if (ship == nullptr) return;
+  (void)ship->SwitchRole(node::FirstLevelRole::kFusion,
+                         node::SwitchMechanism::kResidentSoftware);
+  ship->SetRoleHandler(
+      node::FirstLevelRole::kFusion,
+      [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+        OnShuttle(s, shuttle);
+      });
+}
+
+void FusionService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
+  if (shuttle.payload.empty()) return;
+  ++shuttles_in_;
+  bytes_in_ += shuttle.WireSize();
+  FlowState& flow = flows_[shuttle.header.flow_id];
+  for (std::int64_t word : shuttle.payload) {
+    if (flow.count == 0) {
+      flow.min = word;
+      flow.max = word;
+    } else {
+      flow.min = std::min(flow.min, word);
+      flow.max = std::max(flow.max, word);
+    }
+    ++flow.count;
+    flow.sum += word;
+  }
+  ++flow.seen;
+  network_.demand().Record(node_, node::FirstLevelRole::kFusion, 1.0);
+  if (flow.seen < config_.window) return;
+
+  // Emit one aggregate for the whole window.
+  wli::Shuttle aggregate = wli::Shuttle::Data(
+      node_, config_.sink, {flow.count, flow.sum, flow.min, flow.max},
+      shuttle.header.flow_id);
+  bytes_out_ += aggregate.WireSize();
+  ++shuttles_out_;
+  flow = FlowState{};
+  (void)ship.SendShuttle(std::move(aggregate));
+}
+
+double FusionService::ReductionFactor() const {
+  return bytes_out_ == 0 ? 1.0
+                         : static_cast<double>(bytes_in_) /
+                               static_cast<double>(bytes_out_);
+}
+
+}  // namespace viator::services

@@ -1,0 +1,60 @@
+// Fusion: "the active node is delivering less data than it receives" (§D),
+// e.g. filtering an MPEG-4 stream or merging sensor readings in-network.
+//
+// The service accumulates data shuttles per flow and, every `window`
+// shuttles, forwards a single aggregate shuttle (count/sum/min/max) to the
+// sink — reducing bytes on every link downstream of the fusion point, which
+// is exactly the bandwidth argument the paper's MFP section makes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+class FusionService {
+ public:
+  struct Config {
+    net::NodeId sink = net::kInvalidNode;
+    std::uint32_t window = 4;  // input shuttles per aggregate
+  };
+
+  /// Installs the fusion role handler on the ship at `node`. The service
+  /// object must outlive the network's use of the handler.
+  FusionService(wli::WanderingNetwork& network, net::NodeId node,
+                const Config& config);
+
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+  std::uint64_t shuttles_in() const { return shuttles_in_; }
+  std::uint64_t shuttles_out() const { return shuttles_out_; }
+
+  /// Achieved data reduction factor (bytes_in / bytes_out; 1.0 until the
+  /// first aggregate leaves).
+  double ReductionFactor() const;
+
+ private:
+  struct FlowState {
+    std::uint32_t seen = 0;
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+
+  void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  Config config_;
+  std::map<std::uint64_t, FlowState> flows_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t shuttles_in_ = 0;
+  std::uint64_t shuttles_out_ = 0;
+};
+
+}  // namespace viator::services

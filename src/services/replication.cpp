@@ -1,0 +1,74 @@
+#include "services/replication.h"
+
+namespace viator::services {
+
+ForwardAndCopy::ForwardAndCopy(wli::WanderingNetwork& network,
+                               net::NodeId node, const Config& config)
+    : network_(network), node_(node), config_(config) {
+  wli::Ship* ship = network_.ship(node);
+  if (ship == nullptr) return;
+  (void)ship->SwitchRole(node::FirstLevelRole::kReplication,
+                         node::SwitchMechanism::kResidentSoftware);
+  ship->SetRoleHandler(
+      node::FirstLevelRole::kReplication,
+      [this](wli::Ship& s, const wli::Shuttle& shuttle) {
+        OnShuttle(s, shuttle);
+      });
+}
+
+void ForwardAndCopy::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
+  if (shuttle.payload.empty()) return;
+  network_.demand().Record(node_, node::FirstLevelRole::kReplication, 1.0);
+  // Forward the original onward. The FaC node addresses shuttles via a
+  // 2-word prefix {final_destination, body...}; this keeps the tee
+  // transparent without source routing.
+  if (shuttle.payload.size() < 2) return;
+  const auto final_dst = static_cast<net::NodeId>(shuttle.payload[0]);
+  if (final_dst >= network_.topology().node_count()) return;
+  std::vector<std::int64_t> body(shuttle.payload.begin() + 1,
+                                 shuttle.payload.end());
+  const bool matches = config_.flow_filter == 0 ||
+                       shuttle.header.flow_id == config_.flow_filter;
+  ++forwarded_;
+  (void)ship.SendShuttle(
+      wli::Shuttle::Data(node_, final_dst, body, shuttle.header.flow_id));
+  if (matches && config_.monitor != net::kInvalidNode) {
+    ++copied_;
+    (void)ship.SendShuttle(wli::Shuttle::Data(node_, config_.monitor, body,
+                                              shuttle.header.flow_id));
+  }
+}
+
+NextStepOracle::NextStepOracle(wli::WanderingNetwork& network,
+                               net::NodeId node)
+    : network_(network), node_(node) {}
+
+node::FirstLevelRole NextStepOracle::UpdateRegister() {
+  wli::Ship* ship = network_.ship(node_);
+  node::FirstLevelRole best = ship->os().current_role();
+  double best_demand = -1.0;
+  for (int r = 0; r < static_cast<int>(node::FirstLevelRole::kRoleCount);
+       ++r) {
+    const auto role = static_cast<node::FirstLevelRole>(r);
+    const double demand = network_.demand().DemandAt(node_, role);
+    if (demand > best_demand) {
+      best_demand = demand;
+      best = role;
+    }
+  }
+  ship->os().set_next_step(best);
+  return best;
+}
+
+bool NextStepOracle::ApplyNextStep() {
+  wli::Ship* ship = network_.ship(node_);
+  const node::FirstLevelRole next = ship->os().next_step();
+  if (next == ship->os().current_role()) return false;
+  if (ship->SwitchRole(next, node::SwitchMechanism::kResidentSoftware).ok()) {
+    ++steps_applied_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace viator::services

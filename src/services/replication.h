@@ -1,0 +1,72 @@
+// Replication role services (§D, First-Level Profiling additions).
+//
+// "We assigned two additional roles to the First Level Profiling:
+// Replication and Next-Step ... The first two roles ... correspond
+// partially to the functions 'Forward and Copy' (FaC) and 'Oracle'
+// suggested by Raz and Shavitt to enhance the AN architecture framework."
+//
+// ForwardAndCopy: a transit tee — shuttles matching a flow predicate are
+// forwarded unchanged to their destination *and* copied to a monitoring
+// sink ("deploying knowledge-based services such as selective activation of
+// the network topology").
+//
+// NextStepOracle: drives the ship's Next-Step register (Figure 2's
+// "internal programmable switch which stores the next node role to come"):
+// it watches the ship's own demand mix and programs the register with the
+// role the ship should assume next; ApplyNextStep() performs the switch.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wandering_network.h"
+
+namespace viator::services {
+
+class ForwardAndCopy {
+ public:
+  struct Config {
+    net::NodeId monitor = net::kInvalidNode;  // copy destination
+    std::uint64_t flow_filter = 0;            // 0 = copy every data shuttle
+  };
+
+  /// Installs the replication role handler on the ship at `node`; matching
+  /// data shuttles addressed to it are re-emitted to their original
+  /// destination and a copy goes to the monitor.
+  ForwardAndCopy(wli::WanderingNetwork& network, net::NodeId node,
+                 const Config& config);
+
+  std::uint64_t copied() const { return copied_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
+
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  Config config_;
+  std::uint64_t copied_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+class NextStepOracle {
+ public:
+  /// Watches demand at `node` and keeps the Next-Step register pointing at
+  /// the locally hottest first-level role.
+  NextStepOracle(wli::WanderingNetwork& network, net::NodeId node);
+
+  /// Re-evaluates demand and programs the register. Returns the chosen role.
+  node::FirstLevelRole UpdateRegister();
+
+  /// Executes the stored step: switches the ship to next_step via resident
+  /// software. Returns false when already in that role.
+  bool ApplyNextStep();
+
+  std::uint64_t steps_applied() const { return steps_applied_; }
+
+ private:
+  wli::WanderingNetwork& network_;
+  net::NodeId node_;
+  std::uint64_t steps_applied_ = 0;
+};
+
+}  // namespace viator::services

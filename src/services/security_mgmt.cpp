@@ -1,0 +1,100 @@
+#include "services/security_mgmt.h"
+
+namespace viator::services {
+
+void CapsuleAuthority::Sign(wli::Shuttle& shuttle) const {
+  shuttle.auth_tag = KeyedTag(key_, shuttle.code_image);
+}
+
+bool CapsuleAuthority::Check(const wli::Shuttle& shuttle) const {
+  return shuttle.auth_tag == KeyedTag(key_, shuttle.code_image);
+}
+
+WorkloadMonitor::WorkloadMonitor(wli::WanderingNetwork& network,
+                                 sim::Duration interval)
+    : network_(network), interval_(interval) {}
+
+void WorkloadMonitor::SampleOnce() {
+  const sim::TimePoint now = network_.simulator().now();
+  network_.ForEachShip([&](wli::Ship& ship) {
+    const std::uint64_t backlog = network_.fabric().QueuedBytesAt(ship.id());
+    network_.feedback().Publish(wli::FeedbackSignal{
+        wli::FeedbackDimension::kPerNode, ship.id(),
+        /*key=*/0, static_cast<double>(backlog), now});
+    ++samples_;
+  });
+}
+
+void WorkloadMonitor::Start(sim::TimePoint until) {
+  network_.simulator().ScheduleAfter(interval_, [this, until] {
+    SampleOnce();
+    if (network_.simulator().now() + interval_ <= until) Start(until);
+  });
+}
+
+SelfHealingCoordinator::SelfHealingCoordinator(wli::WanderingNetwork& network,
+                                               const Config& config)
+    : network_(network), config_(config) {}
+
+void SelfHealingCoordinator::CheckpointAll() {
+  network_.ForEachShip([this](wli::Ship& ship) {
+    checkpoints_[ship.id()] = wli::EncodeBlueprint(ship.ToBlueprint());
+  });
+}
+
+void SelfHealingCoordinator::OnFailureEvent(const char* kind,
+                                            std::uint32_t id, bool up) {
+  if (up || std::string_view(kind) != "node") return;
+  const auto dead = static_cast<net::NodeId>(id);
+  network_.simulator().ScheduleAfter(config_.detection_delay,
+                                     [this, dead] { (void)Heal(dead); });
+}
+
+std::size_t SelfHealingCoordinator::Heal(net::NodeId dead) {
+  const auto checkpoint = checkpoints_.find(dead);
+  if (checkpoint == checkpoints_.end()) return 0;
+  auto blueprint = wli::DecodeBlueprint(checkpoint->second);
+  if (!blueprint.ok()) return 0;
+
+  // Choose a live successor: prefer a neighbor of the dead node on the
+  // (pre-failure) topology, else any live ship.
+  net::NodeId successor = net::kInvalidNode;
+  for (net::LinkId link : network_.topology().IncidentLinks(dead)) {
+    const auto& l = network_.topology().link(link);
+    const net::NodeId other = l.a == dead ? l.b : l.a;
+    if (network_.topology().IsNodeUp(other) &&
+        network_.ship(other) != nullptr) {
+      successor = other;
+      break;
+    }
+  }
+  if (successor == net::kInvalidNode) {
+    network_.ForEachShip([&](wli::Ship& ship) {
+      if (successor == net::kInvalidNode && ship.id() != dead &&
+          network_.topology().IsNodeUp(ship.id())) {
+        successor = ship.id();
+      }
+    });
+  }
+  if (successor == net::kInvalidNode) return 0;
+
+  wli::Ship* host = network_.ship(successor);
+  (void)host->ApplyBlueprint(*blueprint);
+  std::size_t regrown = 0;
+  for (const wli::NetFunction& fn : blueprint->functions) {
+    network_.NotifyFunctionInstalled(successor, fn);
+    ++regrown;
+  }
+  ++heals_;
+  functions_regrown_ += regrown;
+  last_heal_time_ = network_.simulator().now();
+  network_.stats().GetCounter("heal.functions_regrown").Add(regrown);
+  network_.trace().Log(network_.simulator().now(), sim::TraceLevel::kInfo,
+                       "self-healing",
+                       "regrew " + std::to_string(regrown) +
+                           " functions of node " + std::to_string(dead) +
+                           " on node " + std::to_string(successor));
+  return regrown;
+}
+
+}  // namespace viator::services

@@ -1,0 +1,95 @@
+// Security + network management — the merged class of §D ("we combined the
+// security and network management classes into one single class").
+//
+// * CapsuleAuthority signs code shuttles with the community key (the ships
+//   verify tags on admission — see Ship::HandleCodeShuttle).
+// * WorkloadMonitor periodically publishes per-node feedback (egress
+//   backlog, consumption) — the "workload monitoring" management function.
+// * SelfHealingCoordinator implements footnote 18's self-healing network:
+//   it checkpoints ship genomes ("the (centralized) long term memory of the
+//   network"), watches for node failures, and reconstructs the dead node's
+//   functions on a live neighbor via genetic transcoding, measuring the
+//   recovery time the E9 bench reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/genetic_transcoder.h"
+#include "core/wandering_network.h"
+#include "net/failure.h"
+
+namespace viator::services {
+
+/// Helper that signs shuttles carrying code with the network's capsule key.
+class CapsuleAuthority {
+ public:
+  explicit CapsuleAuthority(std::uint64_t key) : key_(key) {}
+
+  /// Computes and installs the authorization tag for a code shuttle.
+  void Sign(wli::Shuttle& shuttle) const;
+
+  /// True iff the shuttle's tag matches its code image under this key.
+  bool Check(const wli::Shuttle& shuttle) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Periodic management telemetry on the per-node feedback dimension.
+class WorkloadMonitor {
+ public:
+  WorkloadMonitor(wli::WanderingNetwork& network, sim::Duration interval);
+
+  /// Starts the periodic sampling loop until `until`.
+  void Start(sim::TimePoint until);
+
+  std::uint64_t samples_published() const { return samples_; }
+
+ private:
+  void SampleOnce();
+
+  wli::WanderingNetwork& network_;
+  sim::Duration interval_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Detects node failures and regrows their functions elsewhere.
+class SelfHealingCoordinator {
+ public:
+  struct Config {
+    /// Time from physical failure to detection (monitoring latency).
+    sim::Duration detection_delay = 50 * sim::kMillisecond;
+  };
+
+  SelfHealingCoordinator(wli::WanderingNetwork& network, const Config& config);
+
+  /// Snapshots every ship's genome into the network's long-term memory.
+  void CheckpointAll();
+
+  /// Hook this into a FailureInjector's observer. On "node down", schedules
+  /// detection + healing.
+  void OnFailureEvent(const char* kind, std::uint32_t id, bool up);
+
+  /// Immediately reconstructs the functions of `dead` on a live neighbor
+  /// from the last checkpoint (genetic transcoding). Returns the number of
+  /// functions regrown.
+  std::size_t Heal(net::NodeId dead);
+
+  std::uint64_t heals() const { return heals_; }
+  std::uint64_t functions_regrown() const { return functions_regrown_; }
+  /// Simulated time of the most recent completed heal (for recovery-time
+  /// measurements).
+  sim::TimePoint last_heal_time() const { return last_heal_time_; }
+
+ private:
+  wli::WanderingNetwork& network_;
+  Config config_;
+  std::map<net::NodeId, std::vector<std::byte>> checkpoints_;
+  std::uint64_t heals_ = 0;
+  std::uint64_t functions_regrown_ = 0;
+  sim::TimePoint last_heal_time_ = 0;
+};
+
+}  // namespace viator::services

@@ -1,0 +1,57 @@
+#include "sim/replica.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace viator::sim {
+
+std::map<std::string, AggregatedMetric> RunReplicas(const ReplicaFn& fn,
+                                                    std::size_t replicas,
+                                                    std::uint64_t base_seed,
+                                                    std::size_t max_threads) {
+  std::vector<ReplicaMetrics> results(replicas);
+  if (replicas > 0) {
+    std::size_t workers = max_threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : max_threads;
+    workers = std::min(workers, replicas);
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= replicas) return;
+        // Seed derivation is index-based, so results are independent of the
+        // thread that happens to pick the replica up.
+        const std::uint64_t seed =
+            base_seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL * (i + 1);
+        results[i] = fn(i, seed);
+      }
+    };
+
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  }  // jthreads join here
+
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& metrics : results) {
+    for (const auto& [name, value] : metrics) by_name[name].push_back(value);
+  }
+
+  std::map<std::string, AggregatedMetric> out;
+  for (auto& [name, values] : by_name) {
+    AggregatedMetric agg;
+    const MeanStddev ms = Summarize(values);
+    agg.mean = ms.mean;
+    agg.stddev = ms.stddev;
+    agg.min = *std::min_element(values.begin(), values.end());
+    agg.max = *std::max_element(values.begin(), values.end());
+    agg.samples = values.size();
+    out[name] = agg;
+  }
+  return out;
+}
+
+}  // namespace viator::sim

@@ -1,0 +1,44 @@
+// Parallel replica runner.
+//
+// Experiments run R statistically independent replicas of a simulation and
+// aggregate the metrics. Each replica is a pure task: it receives a seed,
+// builds its own Simulator/StatsRegistry, and returns results *by value*
+// (Core Guidelines CP.31/CP.4 — tasks over threads, no shared mutable
+// state). Replicas are distributed over a bounded thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace viator::sim {
+
+/// One replica's scalar outputs: metric name → value.
+using ReplicaMetrics = std::map<std::string, double>;
+
+/// Function executed per replica. `replica_index` selects workload variation,
+/// `seed` the RNG stream. Must be thread-compatible (no shared state).
+using ReplicaFn =
+    std::function<ReplicaMetrics(std::size_t replica_index, std::uint64_t seed)>;
+
+/// Aggregated metric across replicas.
+struct AggregatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Runs `replicas` copies of `fn` (seeds derived deterministically from
+/// `base_seed`) on up to `max_threads` worker threads (0 = hardware
+/// concurrency) and aggregates every metric name that appears in any replica.
+std::map<std::string, AggregatedMetric> RunReplicas(
+    const ReplicaFn& fn, std::size_t replicas, std::uint64_t base_seed,
+    std::size_t max_threads = 0);
+
+}  // namespace viator::sim

@@ -1,0 +1,97 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events and
+// a virtual clock. Events at equal times fire in scheduling order (sequence
+// tiebreak), which makes every run bit-for-bit deterministic. Scheduled
+// events can be cancelled through the returned handle; cancellation is O(1)
+// (tombstoning) with lazy removal at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace viator::sim {
+
+/// Handle to a scheduled event; Cancel() prevents a not-yet-fired callback
+/// from running. Handles are cheap shared references and may outlive the
+/// event itself (cancelling a fired event is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Suppresses the callback if it has not fired yet.
+  void Cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (scheduled, not fired/cancelled).
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// The event-driven virtual machine of the whole system: all network, node
+/// and WLI activity is expressed as events against one Simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
+  EventHandle ScheduleAt(TimePoint when, Callback fn);
+
+  /// Schedules `fn` after `delay` from now.
+  EventHandle ScheduleAfter(Duration delay, Callback fn);
+
+  /// Runs events until the queue empties or the clock passes `deadline`.
+  /// Returns the number of events dispatched.
+  std::uint64_t RunUntil(TimePoint deadline);
+
+  /// Runs until the queue is fully drained.
+  std::uint64_t RunAll();
+
+  /// Dispatches exactly one event if any is pending. Returns false when idle.
+  bool Step();
+
+  /// Number of live (non-cancelled) events still queued. O(queue) — intended
+  /// for tests and end-of-run assertions, not hot paths.
+  std::size_t PendingEvents() const;
+
+  /// Total events dispatched since construction.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace viator::sim

@@ -1,0 +1,104 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viator::sim {
+namespace {
+
+// Bucket index for a positive value: 2 buckets per power of two.
+int BucketFor(double v) {
+  const double l = std::log2(v);
+  int idx = static_cast<int>(std::floor(l * 2.0));
+  if (idx < 0) idx = 0;
+  if (idx >= 128) idx = 127;
+  return idx;
+}
+
+double BucketLow(int idx) { return std::exp2(static_cast<double>(idx) / 2.0); }
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value < 1.0) {
+    ++zeros_;
+  } else {
+    ++buckets_[BucketFor(value)];
+  }
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  double seen = static_cast<double>(zeros_);
+  if (target <= seen) return 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (seen + in_bucket >= target && in_bucket > 0.0) {
+      const double lo = BucketLow(i);
+      const double hi = BucketLow(i + 1);
+      const double frac = (target - seen) / in_bucket;
+      return std::min(lo + (hi - lo) * frac, max_);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+double TimeSeries::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& sample : samples_) s += sample.value;
+  return s / static_cast<double>(samples_.size());
+}
+
+std::uint64_t StatsRegistry::CounterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Histogram* StatsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const TimeSeries* StatsRegistry::FindTimeSeries(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+MeanStddev Summarize(const std::vector<double>& values) {
+  MeanStddev out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() >= 2) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace viator::sim

@@ -1,0 +1,119 @@
+// Measurement primitives for experiments: counters, gauges, log-bucketed
+// histograms and time series, gathered in a per-simulation StatsRegistry.
+//
+// All experiment tables in bench/ are produced from these objects, so their
+// semantics are deliberately simple and exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace viator::sim {
+
+/// Monotonically increasing event count (packets sent, cache hits, ...).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level that can move both ways (queue depth, live facts).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Streaming summary of a sample set: count/min/max/mean/stddev plus
+/// approximate quantiles from base-2 log buckets (values must be >= 0).
+class Histogram {
+ public:
+  void Record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+  /// Approximate p-quantile (0 <= p <= 1) via log-bucket interpolation.
+  double Quantile(double p) const;
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 128;  // covers [1, 2^64) with 0.5 steps
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t zeros_ = 0;
+};
+
+/// (time, value) samples for series plots (Figure-1/3/4-style evolution).
+class TimeSeries {
+ public:
+  void Record(TimePoint t, double value) { samples_.push_back({t, value}); }
+  struct Sample {
+    TimePoint time;
+    double value;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Mean of the recorded values (0 when empty).
+  double Mean() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Name → metric store. One registry per simulation replica; benches merge
+/// registries across replicas by name.
+class StatsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) { return counters_[name]; }
+  Gauge& GetGauge(const std::string& name) { return gauges_[name]; }
+  Histogram& GetHistogram(const std::string& name) { return histograms_[name]; }
+  TimeSeries& GetTimeSeries(const std::string& name) { return series_[name]; }
+
+  /// Counter value or 0 when absent (read-only accessor for reports).
+  std::uint64_t CounterValue(const std::string& name) const;
+  /// Histogram lookup (nullptr when absent).
+  const Histogram* FindHistogram(const std::string& name) const;
+  const TimeSeries* FindTimeSeries(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+/// Mean and sample standard deviation of a vector (used when aggregating a
+/// metric across replicas).
+struct MeanStddev {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStddev Summarize(const std::vector<double>& values);
+
+}  // namespace viator::sim

@@ -1,0 +1,31 @@
+// Simulated time. One tick = one nanosecond of virtual time; 64 bits cover
+// ~584 years of simulation, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace viator::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using TimePoint = std::uint64_t;
+
+/// Relative simulated duration in nanoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Converts seconds (double) to a Duration, saturating at 0 for negatives.
+constexpr Duration FromSeconds(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<Duration>(seconds * 1e9 + 0.5);
+}
+
+/// Converts a Duration to fractional seconds.
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+}  // namespace viator::sim

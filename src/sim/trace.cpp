@@ -1,0 +1,49 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace viator::sim {
+
+std::string_view TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug: return "DEBUG";
+    case TraceLevel::kInfo: return "INFO";
+    case TraceLevel::kWarn: return "WARN";
+    case TraceLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void TraceSink::Log(TimePoint time, TraceLevel level, std::string component,
+                    std::string message) {
+  if (level < min_level_) return;
+  if (echo_) {
+    std::printf("[%s] %-5s %-18s %s\n", FormatNanos(time).c_str(),
+                std::string(TraceLevelName(level)).c_str(), component.c_str(),
+                message.c_str());
+  }
+  entries_.push_back(Entry{time, level, std::move(component),
+                           std::move(message)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::size_t TraceSink::CountContaining(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceSink::Entry> TraceSink::ForComponent(
+    std::string_view component) const {
+  std::vector<Entry> out;
+  for (const auto& e : entries_) {
+    if (e.component == component) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace viator::sim

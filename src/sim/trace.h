@@ -1,0 +1,58 @@
+// Structured trace log. Subsystems emit (time, level, component, message)
+// entries into a bounded ring buffer; tests assert against the buffer,
+// examples optionally echo it to stdout.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace viator::sim {
+
+enum class TraceLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view TraceLevelName(TraceLevel level);
+
+/// Bounded in-memory trace sink. Not thread-safe by design: each simulation
+/// replica owns one sink (shared mutable state stays replica-local).
+class TraceSink {
+ public:
+  struct Entry {
+    TimePoint time;
+    TraceLevel level;
+    std::string component;
+    std::string message;
+  };
+
+  explicit TraceSink(std::size_t capacity = 4096, bool echo_stdout = false)
+      : capacity_(capacity), echo_(echo_stdout) {}
+
+  /// Records an entry, evicting the oldest when over capacity.
+  void Log(TimePoint time, TraceLevel level, std::string component,
+           std::string message);
+
+  /// Drops entries below this level (default: keep everything).
+  void set_min_level(TraceLevel level) { min_level_ = level; }
+  void set_echo(bool echo) { echo_ = echo; }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Number of retained entries whose message contains `needle`.
+  std::size_t CountContaining(std::string_view needle) const;
+
+  /// All retained entries for one component, oldest first.
+  std::vector<Entry> ForComponent(std::string_view component) const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  bool echo_;
+  TraceLevel min_level_ = TraceLevel::kDebug;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace viator::sim

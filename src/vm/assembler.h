@@ -1,0 +1,32 @@
+// Two-pass textual assembler for WanderScript.
+//
+// Syntax, one statement per line:
+//   ; comment                       (also "#")
+//   label:                          (jump target)
+//   push 42        / push -3
+//   pushc 1234567890123             (large constants auto-pooled)
+//   jmp label      / jz label / jnz label
+//   sys get_fact                    (syscall by name)
+//   load 0 / store 1 / add / halt ...
+//
+// Every example shuttle and most test programs are written in this syntax;
+// it keeps mobile code legible in the repository while the wire format stays
+// binary.
+#pragma once
+
+#include <string_view>
+
+#include "base/status.h"
+#include "vm/program.h"
+
+namespace viator::vm {
+
+/// Assembles `source` into a named Program. Errors carry 1-based line
+/// numbers. The result is *not* yet verified — run the Verifier before
+/// execution, as a ship would on arrival.
+Result<Program> Assemble(std::string_view name, std::string_view source);
+
+/// Renders a program back to assembly (labels synthesized as L<index>).
+std::string Disassemble(const Program& program);
+
+}  // namespace viator::vm

@@ -1,0 +1,265 @@
+#include "vm/interpreter.h"
+
+#include <array>
+
+namespace viator::vm {
+
+Result<std::int64_t> Environment::Invoke(Syscall id,
+                                          std::span<const std::int64_t>) {
+  (void)id;
+  return std::int64_t{0};
+}
+
+ExecutionResult Interpreter::Run(const Program& program, Environment& env,
+                                 std::uint64_t fuel,
+                                 std::span<const std::int64_t> arguments) {
+  ExecutionResult result;
+  const auto& code = program.code();
+  const auto& constants = program.constants();
+
+  std::array<std::int64_t, kMaxLocals> locals{};
+  for (std::size_t i = 0; i < arguments.size() && i < kMaxLocals; ++i) {
+    locals[i] = arguments[i];
+  }
+
+  std::vector<std::int64_t> stack;
+  stack.reserve(64);
+  std::vector<std::size_t> return_stack;
+
+  auto fault = [&result](std::string message) {
+    result.reason = ExitReason::kFault;
+    result.fault_message = std::move(message);
+  };
+
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    if (result.fuel_used >= fuel) {
+      result.reason = ExitReason::kOutOfFuel;
+      return result;
+    }
+    ++result.fuel_used;
+    const Instruction& ins = code[pc];
+    std::size_t next_pc = pc + 1;
+
+    auto pop = [&stack]() {
+      const std::int64_t v = stack.back();
+      stack.pop_back();
+      return v;
+    };
+
+    // Verified programs cannot underflow; the checks below are defense in
+    // depth for hand-built Instruction vectors in tests.
+    auto need = [&stack, &fault](std::size_t n) {
+      if (stack.size() < n) {
+        fault("stack underflow");
+        return false;
+      }
+      return true;
+    };
+
+    switch (ins.opcode) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        if (!stack.empty()) result.top_of_stack = stack.back();
+        result.reason = ExitReason::kHalted;
+        return result;
+      case Opcode::kPush:
+        stack.push_back(ins.operand);
+        break;
+      case Opcode::kPushC: {
+        const auto idx = static_cast<std::size_t>(ins.operand);
+        if (idx >= constants.size()) {
+          fault("constant index out of range");
+          return result;
+        }
+        stack.push_back(constants[idx]);
+        break;
+      }
+      case Opcode::kPop:
+        if (!need(1)) return result;
+        stack.pop_back();
+        break;
+      case Opcode::kDup:
+        if (!need(1)) return result;
+        stack.push_back(stack.back());
+        break;
+      case Opcode::kSwap: {
+        if (!need(2)) return result;
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      }
+      case Opcode::kOver:
+        if (!need(2)) return result;
+        stack.push_back(stack[stack.size() - 2]);
+        break;
+      case Opcode::kLoad: {
+        const auto slot = static_cast<std::size_t>(ins.operand);
+        if (slot >= kMaxLocals) {
+          fault("local slot out of range");
+          return result;
+        }
+        stack.push_back(locals[slot]);
+        break;
+      }
+      case Opcode::kStore: {
+        if (!need(1)) return result;
+        const auto slot = static_cast<std::size_t>(ins.operand);
+        if (slot >= kMaxLocals) {
+          fault("local slot out of range");
+          return result;
+        }
+        locals[slot] = pop();
+        break;
+      }
+      case Opcode::kNeg:
+        if (!need(1)) return result;
+        stack.back() = -stack.back();
+        break;
+      case Opcode::kNot:
+        if (!need(1)) return result;
+        stack.back() = ~stack.back();
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kEq:
+      case Opcode::kNe:
+      case Opcode::kLt:
+      case Opcode::kLe:
+      case Opcode::kGt:
+      case Opcode::kGe: {
+        if (!need(2)) return result;
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        std::int64_t out = 0;
+        switch (ins.opcode) {
+          case Opcode::kAdd:
+            out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                            static_cast<std::uint64_t>(b));
+            break;
+          case Opcode::kSub:
+            out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                            static_cast<std::uint64_t>(b));
+            break;
+          case Opcode::kMul:
+            out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                            static_cast<std::uint64_t>(b));
+            break;
+          case Opcode::kDiv:
+            // Mobile code must never trap the host: x/0 == 0 by definition,
+            // and INT64_MIN / -1 is saturated instead of overflowing.
+            if (b == 0) {
+              out = 0;
+            } else if (a == INT64_MIN && b == -1) {
+              out = INT64_MAX;
+            } else {
+              out = a / b;
+            }
+            break;
+          case Opcode::kMod:
+            if (b == 0) {
+              out = 0;
+            } else if (a == INT64_MIN && b == -1) {
+              out = 0;
+            } else {
+              out = a % b;
+            }
+            break;
+          case Opcode::kAnd: out = a & b; break;
+          case Opcode::kOr: out = a | b; break;
+          case Opcode::kXor: out = a ^ b; break;
+          case Opcode::kShl:
+            out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                            << (b & 63));
+            break;
+          case Opcode::kShr:
+            out = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                            (b & 63));
+            break;
+          case Opcode::kEq: out = a == b; break;
+          case Opcode::kNe: out = a != b; break;
+          case Opcode::kLt: out = a < b; break;
+          case Opcode::kLe: out = a <= b; break;
+          case Opcode::kGt: out = a > b; break;
+          case Opcode::kGe: out = a >= b; break;
+          default: break;
+        }
+        stack.push_back(out);
+        break;
+      }
+      case Opcode::kJmp:
+        next_pc = static_cast<std::size_t>(ins.operand);
+        break;
+      case Opcode::kJz: {
+        if (!need(1)) return result;
+        if (pop() == 0) next_pc = static_cast<std::size_t>(ins.operand);
+        break;
+      }
+      case Opcode::kJnz: {
+        if (!need(1)) return result;
+        if (pop() != 0) next_pc = static_cast<std::size_t>(ins.operand);
+        break;
+      }
+      case Opcode::kCall: {
+        if (return_stack.size() >= kMaxCallDepth) {
+          fault("call depth exceeded");
+          return result;
+        }
+        return_stack.push_back(pc + 1);
+        next_pc = static_cast<std::size_t>(ins.operand);
+        break;
+      }
+      case Opcode::kRet: {
+        if (return_stack.empty()) {
+          fault("ret with empty call stack");
+          return result;
+        }
+        next_pc = return_stack.back();
+        return_stack.pop_back();
+        break;
+      }
+      case Opcode::kSys: {
+        const SyscallSpec* spec =
+            FindSyscall(static_cast<Syscall>(ins.operand));
+        if (spec == nullptr) {
+          fault("invalid syscall");
+          return result;
+        }
+        if (!need(spec->arg_count)) return result;
+        std::array<std::int64_t, 8> args{};
+        for (int i = spec->arg_count - 1; i >= 0; --i) args[i] = pop();
+        auto sys_result = env.Invoke(
+            spec->id, std::span(args.data(), spec->arg_count));
+        if (!sys_result.ok()) {
+          fault("syscall " + std::string(spec->name) + " failed: " +
+                sys_result.status().ToString());
+          return result;
+        }
+        if (spec->has_result) stack.push_back(*sys_result);
+        break;
+      }
+      case Opcode::kOpcodeCount:
+        fault("invalid opcode");
+        return result;
+    }
+    if (stack.size() > kMaxStackDepth) {
+      fault("stack overflow");
+      return result;
+    }
+    pc = next_pc;
+  }
+
+  if (!stack.empty()) result.top_of_stack = stack.back();
+  result.reason = ExitReason::kHalted;
+  return result;
+}
+
+}  // namespace viator::vm

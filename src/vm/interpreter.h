@@ -1,0 +1,61 @@
+// Fuel-metered WanderScript interpreter.
+//
+// The interpreter executes *verified* programs only (it still guards its own
+// invariants defensively, but verification is the admission contract). Each
+// run is bounded by a fuel budget charged per instruction — the NodeOS uses
+// fuel to implement per-capsule CPU quotas, and runaway jets simply run out.
+//
+// All host effects flow through the Environment interface; the interpreter
+// itself is pure and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "vm/isa.h"
+#include "vm/program.h"
+
+namespace viator::vm {
+
+/// Host services presented to running shuttle code. Implemented by the ship
+/// execution environment; the default implementations make every syscall a
+/// harmless no-op so tests can run programs hermetically.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Dispatch a syscall. `args` has exactly the arity from SyscallSpec.
+  /// Returning a non-OK status aborts the program (counted as a fault).
+  virtual Result<std::int64_t> Invoke(Syscall id,
+                                       std::span<const std::int64_t> args);
+};
+
+/// Why an execution ended.
+enum class ExitReason : std::uint8_t {
+  kHalted,       // HALT or fell off the end
+  kOutOfFuel,    // budget exhausted
+  kFault,        // trap (bad state or syscall failure)
+};
+
+struct ExecutionResult {
+  ExitReason reason = ExitReason::kHalted;
+  std::uint64_t fuel_used = 0;
+  std::int64_t top_of_stack = 0;  // 0 when the stack ended empty
+  std::string fault_message;      // set when reason == kFault
+};
+
+/// Default fuel budget for shuttle programs (NodeOS quota baseline).
+inline constexpr std::uint64_t kDefaultFuel = 100000;
+
+class Interpreter {
+ public:
+  /// Executes `program` against `env` with the given fuel budget.
+  /// `arguments` pre-populate locals[0..n-1].
+  ExecutionResult Run(const Program& program, Environment& env,
+                      std::uint64_t fuel = kDefaultFuel,
+                      std::span<const std::int64_t> arguments = {});
+};
+
+}  // namespace viator::vm

@@ -1,0 +1,110 @@
+#include "vm/isa.h"
+
+#include <array>
+
+namespace viator::vm {
+namespace {
+
+constexpr std::array<SyscallSpec,
+                     static_cast<std::size_t>(Syscall::kSyscallCount)>
+    kSyscallTable = {{
+        {Syscall::kNodeId, "node_id", 0, true},
+        {Syscall::kTime, "time", 0, true},
+        {Syscall::kGetFact, "get_fact", 1, true},
+        {Syscall::kPutFact, "put_fact", 3, true},
+        {Syscall::kEraseFact, "erase_fact", 1, true},
+        {Syscall::kSendValue, "send_value", 3, true},
+        {Syscall::kRole, "role", 0, true},
+        {Syscall::kRequestRole, "request_role", 1, true},
+        {Syscall::kNeighborCount, "neighbor_count", 0, true},
+        {Syscall::kNeighbor, "neighbor", 1, true},
+        {Syscall::kReplicate, "replicate", 1, true},
+        {Syscall::kPayloadSize, "payload_size", 0, true},
+        {Syscall::kPayload, "payload", 1, true},
+        {Syscall::kEmit, "emit", 1, true},
+        {Syscall::kRandom, "random", 0, true},
+        {Syscall::kLog, "log", 1, true},
+        {Syscall::kMorph, "morph", 1, true},
+        {Syscall::kQueueDepth, "queue_depth", 0, true},
+    }};
+
+struct OpcodeInfo {
+  Opcode op;
+  std::string_view name;
+  bool has_operand;
+};
+
+constexpr std::array<OpcodeInfo,
+                     static_cast<std::size_t>(Opcode::kOpcodeCount)>
+    kOpcodeTable = {{
+        {Opcode::kNop, "nop", false},
+        {Opcode::kHalt, "halt", false},
+        {Opcode::kPush, "push", true},
+        {Opcode::kPushC, "pushc", true},
+        {Opcode::kPop, "pop", false},
+        {Opcode::kDup, "dup", false},
+        {Opcode::kSwap, "swap", false},
+        {Opcode::kOver, "over", false},
+        {Opcode::kLoad, "load", true},
+        {Opcode::kStore, "store", true},
+        {Opcode::kAdd, "add", false},
+        {Opcode::kSub, "sub", false},
+        {Opcode::kMul, "mul", false},
+        {Opcode::kDiv, "div", false},
+        {Opcode::kMod, "mod", false},
+        {Opcode::kNeg, "neg", false},
+        {Opcode::kAnd, "and", false},
+        {Opcode::kOr, "or", false},
+        {Opcode::kXor, "xor", false},
+        {Opcode::kNot, "not", false},
+        {Opcode::kShl, "shl", false},
+        {Opcode::kShr, "shr", false},
+        {Opcode::kEq, "eq", false},
+        {Opcode::kNe, "ne", false},
+        {Opcode::kLt, "lt", false},
+        {Opcode::kLe, "le", false},
+        {Opcode::kGt, "gt", false},
+        {Opcode::kGe, "ge", false},
+        {Opcode::kJmp, "jmp", true},
+        {Opcode::kJz, "jz", true},
+        {Opcode::kJnz, "jnz", true},
+        {Opcode::kCall, "call", true},
+        {Opcode::kRet, "ret", false},
+        {Opcode::kSys, "sys", true},
+    }};
+
+}  // namespace
+
+const SyscallSpec* FindSyscall(Syscall id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= kSyscallTable.size()) return nullptr;
+  return &kSyscallTable[idx];
+}
+
+const SyscallSpec* FindSyscallByName(std::string_view name) {
+  for (const auto& spec : kSyscallTable) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string_view OpcodeName(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx >= kOpcodeTable.size()) return "?";
+  return kOpcodeTable[idx].name;
+}
+
+Opcode OpcodeFromName(std::string_view name) {
+  for (const auto& info : kOpcodeTable) {
+    if (info.name == name) return info.op;
+  }
+  return Opcode::kOpcodeCount;
+}
+
+bool OpcodeHasOperand(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx >= kOpcodeTable.size()) return false;
+  return kOpcodeTable[idx].has_operand;
+}
+
+}  // namespace viator::vm

@@ -1,0 +1,138 @@
+// WanderScript: the instruction set for mobile shuttle code.
+//
+// The paper leaves the encoding of "gene-coded" active packets open; native
+// dynamic code loading is unsafe and unportable, so Viator ships a small
+// verified stack machine instead. Programs are sequences of fixed-width
+// instructions (opcode + immediate) over an int64 operand stack with a
+// bounded local frame. All interaction with the hosting ship goes through
+// numbered syscalls, which is where the NodeOS enforces capability and
+// resource policy (paper §B: code "executed under the supervision of the
+// NodeOS").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace viator::vm {
+
+/// Hard limits enforced by the verifier and interpreter.
+inline constexpr std::size_t kMaxProgramLength = 4096;  // instructions
+inline constexpr std::size_t kMaxLocals = 32;
+inline constexpr std::size_t kMaxStackDepth = 256;
+inline constexpr std::size_t kMaxConstants = 256;
+inline constexpr std::size_t kMaxCallDepth = 64;
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+
+  // Stack.
+  kPush,    // push sign-extended 32-bit immediate
+  kPushC,   // push 64-bit constant pool entry [imm]
+  kPop,
+  kDup,
+  kSwap,
+  kOver,    // push copy of second-from-top
+
+  // Locals.
+  kLoad,    // push locals[imm]
+  kStore,   // locals[imm] = pop
+
+  // Arithmetic (b = pop, a = pop, push a OP b). Division by zero yields 0 —
+  // mobile code must never trap the host.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,     // push -pop
+
+  // Bitwise / logic.
+  kAnd,
+  kOr,
+  kXor,
+  kNot,     // bitwise complement
+  kShl,
+  kShr,
+
+  // Comparisons push 1 or 0.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+
+  // Control flow. Immediates are absolute instruction indices.
+  kJmp,
+  kJz,      // jump if pop == 0
+  kJnz,     // jump if pop != 0
+
+  // Subroutines. kCall pushes the return address onto a separate return
+  // stack and jumps to [imm]; kRet pops it. Calling convention: arguments
+  // and results pass through locals (the frame is shared); a subroutine
+  // must be operand-stack-neutral — the verifier proves it cannot pop below
+  // its entry depth and returns at exactly that depth.
+  kCall,
+  kRet,
+
+  // Host interface: invoke syscall [imm]; argument/result arity per syscall.
+  kSys,
+
+  kOpcodeCount,  // sentinel
+};
+
+/// Host services callable from shuttle code. Arity lives in SyscallSpec.
+enum class Syscall : std::uint8_t {
+  kNodeId = 0,       // () -> id of hosting ship
+  kTime,             // () -> sim time, microseconds
+  kGetFact,          // (key) -> value, 0 when absent
+  kPutFact,          // (key, value, weight) -> 1 on success
+  kEraseFact,        // (key) -> 1 if erased
+  kSendValue,        // (dst, tag, value) -> 1 if a data shuttle was emitted
+  kRole,             // () -> current first-level role of the ship
+  kRequestRole,      // (role) -> 1 if the role switch was accepted
+  kNeighborCount,    // () -> number of up neighbors
+  kNeighbor,         // (i) -> node id of i-th neighbor (or -1)
+  kReplicate,        // (dst) -> 1 if a replica of this shuttle was emitted
+  kPayloadSize,      // () -> number of payload words in this shuttle
+  kPayload,          // (i) -> i-th payload word (or 0)
+  kEmit,             // (value) -> 1; append to the shuttle's output record
+  kRandom,           // () -> deterministic pseudo-random 63-bit value
+  kLog,              // (value) -> 1; trace entry on the host
+  kMorph,            // (ship_class) -> 1 if morphing adapter available
+  kQueueDepth,       // () -> bytes queued on the ship's busiest egress
+  kSyscallCount,     // sentinel
+};
+
+struct SyscallSpec {
+  Syscall id;
+  std::string_view name;
+  std::uint8_t arg_count;
+  bool has_result;
+};
+
+/// Spec table lookup; nullptr for out-of-range ids.
+const SyscallSpec* FindSyscall(Syscall id);
+const SyscallSpec* FindSyscallByName(std::string_view name);
+
+/// One fixed-width instruction.
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  std::int32_t operand = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Mnemonic of an opcode ("push", "jz", ...), for the assembler/disassembler.
+std::string_view OpcodeName(Opcode op);
+
+/// Reverse lookup; returns kOpcodeCount when unknown.
+Opcode OpcodeFromName(std::string_view name);
+
+/// Whether the opcode consumes its immediate operand.
+bool OpcodeHasOperand(Opcode op);
+
+}  // namespace viator::vm

@@ -1,0 +1,230 @@
+#include "vm/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <vector>
+
+namespace viator::vm {
+namespace {
+
+// Net stack effect (pushes - pops) and required depth (pops) per opcode.
+struct StackEffect {
+  int pops = 0;
+  int pushes = 0;
+};
+
+Result<StackEffect> EffectOf(const Instruction& ins) {
+  switch (ins.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kJmp:
+      return StackEffect{0, 0};
+    case Opcode::kPush:
+    case Opcode::kPushC:
+    case Opcode::kLoad:
+      return StackEffect{0, 1};
+    case Opcode::kPop:
+    case Opcode::kStore:
+    case Opcode::kJz:
+    case Opcode::kJnz:
+      return StackEffect{1, 0};
+    case Opcode::kDup:
+      return StackEffect{1, 2};
+    case Opcode::kSwap:
+      return StackEffect{2, 2};
+    case Opcode::kOver:
+      return StackEffect{2, 3};
+    case Opcode::kNeg:
+    case Opcode::kNot:
+      return StackEffect{1, 1};
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kLt:
+    case Opcode::kLe:
+    case Opcode::kGt:
+    case Opcode::kGe:
+      return StackEffect{2, 1};
+    case Opcode::kCall:
+    case Opcode::kRet:
+      // A subroutine is verified to be operand-stack-neutral, so a call
+      // site sees no net effect; kRet itself moves no operands.
+      return StackEffect{0, 0};
+    case Opcode::kSys: {
+      const SyscallSpec* spec = FindSyscall(static_cast<Syscall>(ins.operand));
+      if (spec == nullptr) {
+        return Status(
+            InvalidArgument("invalid syscall id " + std::to_string(ins.operand)));
+      }
+      return StackEffect{spec->arg_count, spec->has_result ? 1 : 0};
+    }
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return Status(InvalidArgument("invalid opcode"));
+}
+
+}  // namespace
+
+Result<VerifyInfo> Verify(const Program& program) {
+  const auto& code = program.code();
+  if (code.empty()) return Status(InvalidArgument("empty program"));
+  if (code.size() > kMaxProgramLength) {
+    return Status(InvalidArgument("program exceeds length limit"));
+  }
+  if (program.constants().size() > kMaxConstants) {
+    return Status(InvalidArgument("constant pool exceeds limit"));
+  }
+
+  const auto size = static_cast<std::int32_t>(code.size());
+  VerifyInfo info;
+
+  // Structural checks first.
+  for (std::int32_t pc = 0; pc < size; ++pc) {
+    const Instruction& ins = code[pc];
+    if (static_cast<std::size_t>(ins.opcode) >=
+        static_cast<std::size_t>(Opcode::kOpcodeCount)) {
+      return Status(InvalidArgument("invalid opcode at " + std::to_string(pc)));
+    }
+    switch (ins.opcode) {
+      case Opcode::kJmp:
+      case Opcode::kJz:
+      case Opcode::kJnz:
+      case Opcode::kCall:
+        if (ins.operand < 0 || ins.operand >= size) {
+          return Status(InvalidArgument("jump target out of range at " +
+                                        std::to_string(pc)));
+        }
+        break;
+      case Opcode::kLoad:
+      case Opcode::kStore:
+        if (ins.operand < 0 ||
+            static_cast<std::size_t>(ins.operand) >= kMaxLocals) {
+          return Status(InvalidArgument("local slot out of range at " +
+                                        std::to_string(pc)));
+        }
+        break;
+      case Opcode::kPushC:
+        if (ins.operand < 0 || static_cast<std::size_t>(ins.operand) >=
+                                   program.constants().size()) {
+          return Status(InvalidArgument("constant index out of range at " +
+                                        std::to_string(pc)));
+        }
+        break;
+      case Opcode::kSys:
+        ++info.syscall_sites;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Abstract interpretation: propagate the entry stack depth to every
+  // reachable instruction. A program is safe iff each instruction sees a
+  // single consistent depth that never underflows and stays under the cap.
+  //
+  // Subroutines (targets of kCall) are verified as separate flows starting
+  // at relative depth 0: they may not pop below their entry depth and must
+  // sit at exactly the entry depth at every kRet — which is what makes a
+  // call site depth-neutral for the caller.
+  std::set<std::int32_t> subroutine_entries;
+  for (const Instruction& ins : code) {
+    if (ins.opcode == Opcode::kCall) subroutine_entries.insert(ins.operand);
+  }
+
+  auto verify_flow = [&](std::int32_t entry,
+                         bool is_subroutine) -> Status {
+    std::vector<int> depth_at(code.size(), -1);
+    std::deque<std::int32_t> worklist;
+    depth_at[entry] = 0;
+    worklist.push_back(entry);
+
+    while (!worklist.empty()) {
+      const std::int32_t pc = worklist.front();
+      worklist.pop_front();
+      const Instruction& ins = code[pc];
+      const int depth = depth_at[pc];
+
+      auto effect = EffectOf(ins);
+      if (!effect.ok()) return effect.status();
+      if (depth < effect->pops) {
+        return InvalidArgument("stack underflow possible at " +
+                               std::to_string(pc));
+      }
+      const int next_depth = depth - effect->pops + effect->pushes;
+      if (static_cast<std::size_t>(next_depth) > kMaxStackDepth) {
+        return InvalidArgument("stack overflow possible at " +
+                               std::to_string(pc));
+      }
+      info.max_stack_depth = std::max(info.max_stack_depth,
+                                      static_cast<std::size_t>(next_depth));
+
+      auto propagate = [&](std::int32_t target, int d) -> Status {
+        if (target >= size) {
+          // Falling off the end is equivalent to halt; allowed.
+          return OkStatus();
+        }
+        if (depth_at[target] == -1) {
+          depth_at[target] = d;
+          worklist.push_back(target);
+        } else if (depth_at[target] != d) {
+          return InvalidArgument("inconsistent stack depth at " +
+                                 std::to_string(target));
+        }
+        return OkStatus();
+      };
+
+      switch (ins.opcode) {
+        case Opcode::kHalt:
+          break;
+        case Opcode::kRet:
+          if (!is_subroutine) {
+            return InvalidArgument("ret reachable outside a subroutine at " +
+                                   std::to_string(pc));
+          }
+          if (depth != 0) {
+            return InvalidArgument(
+                "subroutine not stack-neutral at ret, pc " +
+                std::to_string(pc));
+          }
+          break;  // terminal within this flow
+        case Opcode::kJmp:
+          if (Status s = propagate(ins.operand, next_depth); !s.ok()) return s;
+          break;
+        case Opcode::kJz:
+        case Opcode::kJnz:
+          if (Status s = propagate(ins.operand, next_depth); !s.ok()) return s;
+          if (Status s = propagate(pc + 1, next_depth); !s.ok()) return s;
+          break;
+        case Opcode::kCall:
+          // The callee is verified separately; the call site continues at
+          // the same depth.
+          if (Status s = propagate(pc + 1, next_depth); !s.ok()) return s;
+          break;
+        default:
+          if (Status s = propagate(pc + 1, next_depth); !s.ok()) return s;
+          break;
+      }
+    }
+    return OkStatus();
+  };
+
+  if (Status s = verify_flow(0, false); !s.ok()) return s;
+  for (std::int32_t entry : subroutine_entries) {
+    if (Status s = verify_flow(entry, true); !s.ok()) return s;
+  }
+
+  return info;
+}
+
+}  // namespace viator::vm

@@ -1,0 +1,29 @@
+// Static safety verifier for WanderScript programs.
+//
+// Every ship verifies arriving code before admission (the NodeOS refuses
+// unverifiable capsules). The verifier proves, by abstract interpretation of
+// stack depths over the control-flow graph:
+//   * all opcodes and syscall ids are valid,
+//   * all jump targets are in range,
+//   * local slots and constant indices are in range,
+//   * the operand stack can never underflow, and never exceeds
+//     kMaxStackDepth on any path,
+//   * the program fits kMaxProgramLength.
+// Fuel (runaway loops) is a *dynamic* property enforced by the interpreter.
+#pragma once
+
+#include "base/status.h"
+#include "vm/program.h"
+
+namespace viator::vm {
+
+/// Result of a successful verification.
+struct VerifyInfo {
+  std::size_t max_stack_depth = 0;  // proven upper bound
+  std::size_t syscall_sites = 0;    // how many host-call sites exist
+};
+
+/// Verifies `program`; OK iff it is safe to interpret.
+Result<VerifyInfo> Verify(const Program& program);
+
+}  // namespace viator::vm

@@ -1,0 +1,362 @@
+// Unit tests for the base library: status/result, hashing, RNG, TLV codec
+// and string/table helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/tlv.h"
+
+namespace viator {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(NotFound("a"), NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == InvalidArgument("a"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ---- Hashing ----
+
+TEST(Hash, DeterministicAndContentSensitive) {
+  EXPECT_EQ(HashString("viator"), HashString("viator"));
+  EXPECT_NE(HashString("viator"), HashString("viatob"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(Hash, EmptyInputIsOffsetBasis) {
+  EXPECT_EQ(HashBytes({}), kFnvOffsetBasis);
+}
+
+TEST(Hash, CombineChains) {
+  const auto full = HashString("hello world");
+  auto partial = HashCombine(kFnvOffsetBasis,
+                             std::as_bytes(std::span("hello ", 6)));
+  partial = HashCombine(partial, std::as_bytes(std::span("world", 5)));
+  EXPECT_EQ(full, partial);
+}
+
+TEST(Hash, HexIsFixedWidth) {
+  EXPECT_EQ(DigestToHex(0).size(), 16u);
+  EXPECT_EQ(DigestToHex(0), "0000000000000000");
+  EXPECT_EQ(DigestToHex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+TEST(Hash, KeyedTagDependsOnKey) {
+  const auto data = std::as_bytes(std::span("payload", 7));
+  EXPECT_NE(KeyedTag(1, data), KeyedTag(2, data));
+  EXPECT_EQ(KeyedTag(1, data), KeyedTag(1, data));
+}
+
+TEST(Hash, KeyedTagDiffersFromPlainHash) {
+  const auto data = std::as_bytes(std::span("payload", 7));
+  EXPECT_NE(KeyedTag(0x1234, data), HashBytes(data));
+}
+
+// ---- RNG ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  // Child and parent streams should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.Next() == child.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 1.5);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Zipf(7, 0.8), 7u);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(31);
+  const auto perm = rng.Permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+// ---- TLV ----
+
+TEST(Tlv, RoundTripsScalars) {
+  TlvWriter w;
+  w.PutU64(1, 0xabcdef0123456789ULL);
+  w.PutU32(2, 77);
+  w.PutDouble(3, 3.25);
+  w.PutString(4, "genome");
+  const auto bytes = w.Finish();
+
+  TlvReader r(bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->tag, 1);
+  EXPECT_EQ(rec->AsU64(), 0xabcdef0123456789ULL);
+  rec = r.Next();
+  EXPECT_EQ(rec->AsU32(), 77u);
+  rec = r.Next();
+  EXPECT_DOUBLE_EQ(rec->AsDouble(), 3.25);
+  rec = r.Next();
+  EXPECT_EQ(rec->AsString(), "genome");
+  EXPECT_FALSE(r.HasNext());
+}
+
+TEST(Tlv, DetectsCorruption) {
+  TlvWriter w;
+  w.PutString(1, "important data");
+  auto bytes = w.Finish();
+  bytes[8] ^= std::byte{0xff};
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+}
+
+TEST(Tlv, DetectsTruncation) {
+  TlvWriter w;
+  w.PutU64(1, 5);
+  auto bytes = w.Finish();
+  bytes.resize(bytes.size() - 3);
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+}
+
+TEST(Tlv, EmptyStreamFailsVerify) {
+  TlvReader r({});
+  EXPECT_FALSE(r.Verify().ok());
+}
+
+TEST(Tlv, NestedStreams) {
+  TlvWriter inner;
+  inner.PutU32(10, 123);
+  const auto inner_bytes = inner.Finish();
+
+  TlvWriter outer;
+  outer.PutNested(20, inner_bytes);
+  const auto outer_bytes = outer.Finish();
+
+  TlvReader r(outer_bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  TlvReader nested(rec->payload);
+  ASSERT_TRUE(nested.Verify().ok());
+  auto inner_rec = nested.Next();
+  ASSERT_TRUE(inner_rec.ok());
+  EXPECT_EQ(inner_rec->AsU32(), 123u);
+}
+
+TEST(Tlv, RewindRestartsIteration) {
+  TlvWriter w;
+  w.PutU32(1, 1);
+  w.PutU32(2, 2);
+  const auto bytes = w.Finish();
+  TlvReader r(bytes);
+  ASSERT_TRUE(r.Next().ok());
+  ASSERT_TRUE(r.Next().ok());
+  EXPECT_FALSE(r.HasNext());
+  r.Rewind();
+  EXPECT_TRUE(r.HasNext());
+}
+
+TEST(Tlv, WrongTypeWidthYieldsZero) {
+  TlvWriter w;
+  w.PutString(1, "abc");
+  const auto bytes = w.Finish();
+  TlvReader r(bytes);
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->AsU64(), 0u);  // 3-byte payload is not a u64
+}
+
+// Property sweep: serialize/parse round trip across sizes.
+class TlvRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TlvRoundTrip, ManyRecords) {
+  const int n = GetParam();
+  TlvWriter w;
+  for (int i = 0; i < n; ++i) {
+    w.PutU64(static_cast<TlvTag>(i % 100), static_cast<std::uint64_t>(i));
+  }
+  const auto bytes = w.Finish();
+  TlvReader r(bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  int count = 0;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->AsU64(), static_cast<std::uint64_t>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlvRoundTrip,
+                         ::testing::Values(0, 1, 2, 17, 100, 1000));
+
+// ---- Strings ----
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Strings, FormatNanos) {
+  EXPECT_EQ(FormatNanos(500), "500 ns");
+  EXPECT_EQ(FormatNanos(1500), "1.50 us");
+  EXPECT_EQ(FormatNanos(2500000), "2.50 ms");
+  EXPECT_EQ(FormatNanos(1250000000ULL), "1.250 s");
+}
+
+TEST(Strings, TablePrinterAlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viator

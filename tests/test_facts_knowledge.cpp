@@ -1,0 +1,322 @@
+// Tests for PMP fact semantics: fact stores with frequency-threshold
+// lifetimes, knowledge quanta and function tables, genetic transcoding.
+#include <gtest/gtest.h>
+
+#include "core/facts.h"
+#include "core/genetic_transcoder.h"
+#include "core/knowledge.h"
+
+namespace viator::wli {
+namespace {
+
+FactStoreConfig TestConfig() {
+  FactStoreConfig cfg;
+  cfg.frequency_threshold_hz = 1.0;  // one touch/sec required
+  cfg.window = 10 * sim::kSecond;
+  cfg.capacity = 8;
+  return cfg;
+}
+
+TEST(FactStore, TouchInsertsAndReads) {
+  FactStore store(TestConfig());
+  store.Touch(42, 7, 1.0, 0);
+  EXPECT_EQ(store.Get(42), std::optional<std::int64_t>(7));
+  EXPECT_EQ(store.Get(43), std::nullopt);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(FactStore, TouchUpdatesValue) {
+  FactStore store(TestConfig());
+  store.Touch(1, 10, 1.0, 0);
+  store.Touch(1, 20, 1.0, sim::kSecond);
+  EXPECT_EQ(store.Get(1), std::optional<std::int64_t>(20));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(FactStore, EraseRemoves) {
+  FactStore store(TestConfig());
+  store.Touch(1, 10, 1.0, 0);
+  EXPECT_TRUE(store.Erase(1));
+  EXPECT_FALSE(store.Erase(1));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FactStore, SweepDeletesBelowThreshold) {
+  // "As soon as a fact does not reach its frequency threshold, it is
+  // deleted to leave space for new facts."
+  FactStore store(TestConfig());
+  // Hot fact: touched 20 times over the window -> 2 Hz > 1 Hz threshold.
+  for (int i = 0; i < 20; ++i) {
+    store.Touch(100, 1, 1.0, i * 500 * sim::kMillisecond);
+  }
+  // Cold fact: touched twice -> 0.2 Hz < 1 Hz.
+  store.Touch(200, 2, 1.0, 0);
+  store.Touch(200, 2, 1.0, sim::kSecond);
+  const std::size_t deleted = store.Sweep(10 * sim::kSecond);
+  EXPECT_EQ(deleted, 1u);
+  EXPECT_NE(store.Find(100), nullptr);
+  EXPECT_EQ(store.Find(200), nullptr);
+  EXPECT_EQ(store.total_expirations(), 1u);
+}
+
+TEST(FactStore, WeightExtendsLifetime) {
+  // Same touch pattern; the heavy ("high-bandwidth") fact survives where
+  // the light one dies.
+  FactStore store(TestConfig());
+  store.Touch(1, 0, /*weight=*/0.5, 0);
+  store.Touch(1, 0, 0.5, 5 * sim::kSecond);      // 0.2 touches/s * 0.5 = 0.1
+  store.Touch(2, 0, /*weight=*/10.0, 0);
+  store.Touch(2, 0, 10.0, 5 * sim::kSecond);     // 0.2 * 10 = 2 >= 1
+  store.Sweep(10 * sim::kSecond);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_NE(store.Find(2), nullptr);
+}
+
+TEST(FactStore, YoungFactsGetGracePeriod) {
+  FactStore store(TestConfig());
+  store.Touch(1, 0, 1.0, 9 * sim::kSecond);  // born just before the sweep
+  store.Sweep(10 * sim::kSecond);
+  EXPECT_NE(store.Find(1), nullptr);  // immature: spared
+  store.Sweep(30 * sim::kSecond);
+  EXPECT_EQ(store.Find(1), nullptr);  // mature and untouched: deleted
+}
+
+TEST(FactStore, RefreshedFactsSurviveManySweeps) {
+  FactStore store(TestConfig());
+  sim::TimePoint t = 0;
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    for (int i = 0; i < 15; ++i) {
+      t += 600 * sim::kMillisecond;
+      store.Touch(7, 1, 1.0, t);
+    }
+    EXPECT_EQ(store.Sweep(t), 0u);
+  }
+  EXPECT_NE(store.Find(7), nullptr);
+}
+
+TEST(FactStore, CapacityEvictsWeakest) {
+  FactStoreConfig cfg = TestConfig();
+  cfg.capacity = 3;
+  FactStore store(cfg);
+  // Three facts with increasing strength.
+  store.Touch(1, 0, 0.1, 0);
+  for (int i = 0; i < 5; ++i) store.Touch(2, 0, 1.0, i);
+  for (int i = 0; i < 10; ++i) store.Touch(3, 0, 5.0, i);
+  // Inserting a fourth evicts the weakest (key 1).
+  store.Touch(4, 0, 1.0, sim::kSecond);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_NE(store.Find(3), nullptr);
+  EXPECT_EQ(store.total_evictions(), 1u);
+}
+
+TEST(FactStore, TopByWeightIsSortedAndBounded) {
+  FactStore store(TestConfig());
+  store.Touch(1, 0, 3.0, 0);
+  store.Touch(2, 0, 9.0, 0);
+  store.Touch(3, 0, 6.0, 0);
+  const auto top = store.TopByWeight(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 2u);
+  EXPECT_EQ(top[1].key, 3u);
+}
+
+TEST(FactStore, KeysAreSorted) {
+  FactStore store(TestConfig());
+  store.Touch(9, 0, 1.0, 0);
+  store.Touch(3, 0, 1.0, 0);
+  store.Touch(6, 0, 1.0, 0);
+  EXPECT_EQ(store.Keys(), (std::vector<FactKey>{3, 6, 9}));
+}
+
+// Property sweep over thresholds: facts touched at rate r survive iff
+// r * weight >= threshold (up to window granularity).
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, SurvivalMatchesRate) {
+  FactStoreConfig cfg;
+  cfg.frequency_threshold_hz = GetParam();
+  cfg.window = 10 * sim::kSecond;
+  FactStore store(cfg);
+  // Fact A at 2 Hz, fact B at 0.5 Hz, both weight 1.
+  for (int i = 0; i < 20; ++i) store.Touch(1, 0, 1.0, i * 500 * sim::kMillisecond);
+  for (int i = 0; i < 5; ++i) store.Touch(2, 0, 1.0, i * 2 * sim::kSecond);
+  store.Sweep(10 * sim::kSecond);
+  EXPECT_EQ(store.Find(1) != nullptr, 2.0 >= GetParam());
+  EXPECT_EQ(store.Find(2) != nullptr, 0.5 >= GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 3.0));
+
+// ---- Knowledge quanta ----
+
+KnowledgeQuantum SampleKq() {
+  KnowledgeQuantum kq;
+  kq.function.id = 77;
+  kq.function.name = "edge-filter";
+  kq.function.role = node::FirstLevelRole::kFusion;
+  kq.function.cls = node::SecondLevelClass::kFiltering;
+  kq.function.program_digest = 0xfeedULL;
+  kq.function.fact_keys = {10, 20};
+  kq.facts = {{10, 111, 2.0}, {20, 222, 3.5}};
+  kq.version = 4;
+  return kq;
+}
+
+TEST(Knowledge, KqRoundTrip) {
+  const auto kq = SampleKq();
+  const auto bytes = EncodeKnowledgeQuantum(kq);
+  auto decoded = DecodeKnowledgeQuantum(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->function.id, 77u);
+  EXPECT_EQ(decoded->function.name, "edge-filter");
+  EXPECT_EQ(decoded->function.role, node::FirstLevelRole::kFusion);
+  EXPECT_EQ(decoded->function.program_digest, 0xfeedULL);
+  EXPECT_EQ(decoded->function.fact_keys, (std::vector<FactKey>{10, 20}));
+  ASSERT_EQ(decoded->facts.size(), 2u);
+  EXPECT_EQ(decoded->facts[1].value, 222);
+  EXPECT_DOUBLE_EQ(decoded->facts[1].weight, 3.5);
+  EXPECT_EQ(decoded->version, 4u);
+}
+
+TEST(Knowledge, KqRejectsCorruption) {
+  auto bytes = EncodeKnowledgeQuantum(SampleKq());
+  bytes[6] ^= std::byte{0x80};
+  EXPECT_FALSE(DecodeKnowledgeQuantum(bytes).ok());
+}
+
+TEST(Knowledge, FunctionAliveTracksFacts) {
+  // "The lifetime of a knowledge quantum is defined by the lifetime of its
+  // network function", which lives while its facts live.
+  FactStore store(TestConfig());
+  NetFunction fn = SampleKq().function;
+  EXPECT_FALSE(FunctionAlive(fn, store));
+  store.Touch(10, 0, 1.0, 0);
+  EXPECT_FALSE(FunctionAlive(fn, store));  // needs both facts
+  store.Touch(20, 0, 1.0, 0);
+  EXPECT_TRUE(FunctionAlive(fn, store));
+  store.Erase(10);
+  EXPECT_FALSE(FunctionAlive(fn, store));
+}
+
+TEST(Knowledge, FactFreeFunctionsAreImmortal) {
+  FactStore store(TestConfig());
+  NetFunction fn;
+  fn.id = 1;
+  EXPECT_TRUE(FunctionAlive(fn, store));
+}
+
+TEST(Knowledge, FunctionTableInstallReplaceRemove) {
+  FunctionTable table;
+  NetFunction a;
+  a.id = 1;
+  a.name = "one";
+  table.Install(a);
+  NetFunction a2;
+  a2.id = 1;
+  a2.name = "one-v2";  // "a modification ... determined by a new set of kq"
+  table.Install(a2);
+  EXPECT_EQ(table.functions().size(), 1u);
+  EXPECT_EQ(table.Find(1)->name, "one-v2");
+  EXPECT_TRUE(table.Remove(1));
+  EXPECT_FALSE(table.Remove(1));
+}
+
+TEST(Knowledge, FunctionTableExpiresDeadFunctions) {
+  FactStore store(TestConfig());
+  store.Touch(5, 0, 1.0, 0);
+  FunctionTable table;
+  NetFunction alive;
+  alive.id = 1;
+  alive.fact_keys = {5};
+  NetFunction dead;
+  dead.id = 2;
+  dead.fact_keys = {6};  // never inserted
+  NetFunction infra;
+  infra.id = 3;  // no facts: immortal
+  table.Install(alive);
+  table.Install(dead);
+  table.Install(infra);
+  EXPECT_EQ(table.Expire(store), 1u);
+  EXPECT_NE(table.Find(1), nullptr);
+  EXPECT_EQ(table.Find(2), nullptr);
+  EXPECT_NE(table.Find(3), nullptr);
+}
+
+TEST(Knowledge, ForRoleFilters) {
+  FunctionTable table;
+  NetFunction f1;
+  f1.id = 1;
+  f1.role = node::FirstLevelRole::kFusion;
+  NetFunction f2;
+  f2.id = 2;
+  f2.role = node::FirstLevelRole::kCaching;
+  table.Install(f1);
+  table.Install(f2);
+  EXPECT_EQ(table.ForRole(node::FirstLevelRole::kFusion).size(), 1u);
+  EXPECT_EQ(table.ForRole(node::FirstLevelRole::kFission).size(), 0u);
+}
+
+// ---- Genetic transcoding ----
+
+ShipBlueprint SampleBlueprint() {
+  ShipBlueprint bp;
+  bp.ship_class = node::ShipClass::kAgent;
+  bp.role = node::FirstLevelRole::kFission;
+  bp.next_step = node::FirstLevelRole::kCaching;
+  bp.resident_programs = {0x111, 0x222};
+  bp.facts = {{1, 10, 1.5}, {2, 20, 2.5}};
+  bp.modules = {{3, node::SecondLevelClass::kBoosting, 8000, 5.0, 0x333}};
+  NetFunction fn;
+  fn.id = 9;
+  fn.name = "fn";
+  fn.role = node::FirstLevelRole::kFission;
+  bp.functions = {fn};
+  bp.genome_version = 2;
+  return bp;
+}
+
+TEST(GeneticTranscoder, BlueprintRoundTrip) {
+  const auto bp = SampleBlueprint();
+  const auto genome = EncodeBlueprint(bp);
+  auto decoded = DecodeBlueprint(genome);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->ship_class, node::ShipClass::kAgent);
+  EXPECT_EQ(decoded->role, node::FirstLevelRole::kFission);
+  EXPECT_EQ(decoded->next_step, node::FirstLevelRole::kCaching);
+  EXPECT_EQ(decoded->resident_programs, bp.resident_programs);
+  ASSERT_EQ(decoded->facts.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded->facts[1].weight, 2.5);
+  ASSERT_EQ(decoded->modules.size(), 1u);
+  EXPECT_EQ(decoded->modules[0].gate_count, 8000u);
+  EXPECT_DOUBLE_EQ(decoded->modules[0].speedup, 5.0);
+  ASSERT_EQ(decoded->functions.size(), 1u);
+  EXPECT_EQ(decoded->functions[0].id, 9u);
+  EXPECT_EQ(decoded->genome_version, 2u);
+}
+
+TEST(GeneticTranscoder, RejectsCorruptGenome) {
+  auto genome = EncodeBlueprint(SampleBlueprint());
+  genome[4] ^= std::byte{0x40};
+  EXPECT_FALSE(DecodeBlueprint(genome).ok());
+}
+
+TEST(GeneticTranscoder, RejectsInvalidRole) {
+  ShipBlueprint bp = SampleBlueprint();
+  bp.role = static_cast<node::FirstLevelRole>(200);
+  const auto genome = EncodeBlueprint(bp);
+  EXPECT_FALSE(DecodeBlueprint(genome).ok());
+}
+
+TEST(GeneticTranscoder, EmptyBlueprintRoundTrips) {
+  const auto genome = EncodeBlueprint(ShipBlueprint{});
+  auto decoded = DecodeBlueprint(genome);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->facts.empty());
+  EXPECT_TRUE(decoded->modules.empty());
+  EXPECT_TRUE(decoded->functions.empty());
+}
+
+}  // namespace
+}  // namespace viator::wli

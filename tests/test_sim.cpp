@@ -1,0 +1,290 @@
+// Tests for the discrete-event kernel, statistics and the replica runner.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "sim/replica.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace viator::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.dispatched(), 0u);
+}
+
+TEST(Simulator, AdvancesClockToEventTime) {
+  Simulator s;
+  TimePoint fired_at = 0;
+  s.ScheduleAt(100, [&] { fired_at = s.now(); });
+  s.RunAll();
+  EXPECT_EQ(fired_at, 100u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, FifoAtEqualTimes) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(50, [&] { order.push_back(1); });
+  s.ScheduleAt(50, [&] { order.push_back(2); });
+  s.ScheduleAt(50, [&] { order.push_back(3); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, OrdersByTime) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(300, [&] { order.push_back(3); });
+  s.ScheduleAt(100, [&] { order.push_back(1); });
+  s.ScheduleAt(200, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator s;
+  TimePoint fired_at = 0;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAfter(50, [&] { fired_at = s.now(); });
+  });
+  s.RunAll();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  TimePoint fired_at = 1;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAt(10, [&] { fired_at = s.now(); });  // in the past
+  });
+  s.RunAll();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Simulator, CancelSuppressesCallback) {
+  Simulator s;
+  bool fired = false;
+  auto handle = s.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  s.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  int count = 0;
+  auto handle = s.ScheduleAt(10, [&] { ++count; });
+  s.RunAll();
+  handle.Cancel();
+  s.RunAll();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(20, [&] { ++fired; });
+  s.ScheduleAt(30, [&] { ++fired; });
+  EXPECT_EQ(s.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20u);
+  s.RunAll();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.RunUntil(500);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator s;
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.ScheduleAfter(1, chain);
+  };
+  s.ScheduleAt(0, chain);
+  s.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99u);
+}
+
+TEST(Simulator, PendingEventsCountsLiveOnly) {
+  Simulator s;
+  auto h1 = s.ScheduleAt(10, [] {});
+  s.ScheduleAt(20, [] {});
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  h1.Cancel();
+  EXPECT_EQ(s.PendingEvents(), 1u);
+}
+
+// ---- Stats ----
+
+TEST(Stats, CounterAccumulates) {
+  Counter c;
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramMoments) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_NEAR(h.stddev(), 2.582, 0.01);
+}
+
+TEST(Stats, HistogramEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Stats, HistogramQuantilesAreMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  const double p25 = h.Quantile(0.25);
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_NEAR(p50, 500.0, 200.0);  // log buckets: coarse but sane
+  EXPECT_LE(p99, 1000.0);
+}
+
+TEST(Stats, HistogramNegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(Stats, TimeSeriesMean) {
+  TimeSeries ts;
+  ts.Record(0, 1.0);
+  ts.Record(1, 3.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 2.0);
+  EXPECT_EQ(ts.samples().size(), 2u);
+}
+
+TEST(Stats, RegistryFindsByName) {
+  StatsRegistry reg;
+  reg.GetCounter("a").Add(3);
+  EXPECT_EQ(reg.CounterValue("a"), 3u);
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+  reg.GetHistogram("h").Record(1.0);
+  EXPECT_NE(reg.FindHistogram("h"), nullptr);
+}
+
+TEST(Stats, SummarizeComputesMeanStddev) {
+  const auto ms = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.5);
+  EXPECT_NEAR(ms.stddev, 1.29, 0.01);
+  const auto empty = Summarize({});
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+// ---- Trace ----
+
+TEST(Trace, RecordsAndFilters) {
+  TraceSink sink(16);
+  sink.Log(0, TraceLevel::kInfo, "net", "link up");
+  sink.Log(1, TraceLevel::kError, "net", "link down");
+  sink.Log(2, TraceLevel::kInfo, "vm", "ran program");
+  EXPECT_EQ(sink.entries().size(), 3u);
+  EXPECT_EQ(sink.CountContaining("link"), 2u);
+  EXPECT_EQ(sink.ForComponent("vm").size(), 1u);
+}
+
+TEST(Trace, CapacityEvictsOldest) {
+  TraceSink sink(2);
+  sink.Log(0, TraceLevel::kInfo, "a", "first");
+  sink.Log(1, TraceLevel::kInfo, "a", "second");
+  sink.Log(2, TraceLevel::kInfo, "a", "third");
+  ASSERT_EQ(sink.entries().size(), 2u);
+  EXPECT_EQ(sink.entries().front().message, "second");
+}
+
+TEST(Trace, MinLevelSuppresses) {
+  TraceSink sink(16);
+  sink.set_min_level(TraceLevel::kWarn);
+  sink.Log(0, TraceLevel::kDebug, "a", "quiet");
+  sink.Log(0, TraceLevel::kError, "a", "loud");
+  EXPECT_EQ(sink.entries().size(), 1u);
+}
+
+// ---- Replica runner ----
+
+TEST(Replica, AggregatesAcrossReplicas) {
+  const auto result = RunReplicas(
+      [](std::size_t index, std::uint64_t) {
+        return ReplicaMetrics{{"value", static_cast<double>(index)}};
+      },
+      5, 123, 2);
+  ASSERT_EQ(result.count("value"), 1u);
+  const auto& agg = result.at("value");
+  EXPECT_EQ(agg.samples, 5u);
+  EXPECT_DOUBLE_EQ(agg.mean, 2.0);  // mean of 0..4
+  EXPECT_DOUBLE_EQ(agg.min, 0.0);
+  EXPECT_DOUBLE_EQ(agg.max, 4.0);
+}
+
+TEST(Replica, SeedsAreDeterministicAndDistinct) {
+  std::vector<std::uint64_t> seeds_a(4), seeds_b(4);
+  auto run = [](std::vector<std::uint64_t>& out) {
+    (void)RunReplicas(
+        [&out](std::size_t index, std::uint64_t seed) {
+          out[index] = seed;
+          return ReplicaMetrics{};
+        },
+        4, 99, 1);
+  };
+  run(seeds_a);
+  run(seeds_b);
+  EXPECT_EQ(seeds_a, seeds_b);
+  EXPECT_NE(seeds_a[0], seeds_a[1]);
+}
+
+TEST(Replica, ParallelMatchesSerial) {
+  auto fn = [](std::size_t index, std::uint64_t seed) {
+    viator::Rng rng(seed);
+    double acc = 0;
+    for (int i = 0; i < 100; ++i) acc += rng.NextDouble();
+    return ReplicaMetrics{{"acc", acc + static_cast<double>(index)}};
+  };
+  const auto serial = RunReplicas(fn, 8, 7, 1);
+  const auto parallel = RunReplicas(fn, 8, 7, 8);
+  EXPECT_DOUBLE_EQ(serial.at("acc").mean, parallel.at("acc").mean);
+  EXPECT_DOUBLE_EQ(serial.at("acc").stddev, parallel.at("acc").stddev);
+}
+
+TEST(Replica, ZeroReplicasYieldsEmpty) {
+  const auto result = RunReplicas(
+      [](std::size_t, std::uint64_t) { return ReplicaMetrics{{"x", 1.0}}; },
+      0, 1, 1);
+  EXPECT_TRUE(result.empty());
+}
+
+}  // namespace
+}  // namespace viator::sim

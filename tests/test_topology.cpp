@@ -1,0 +1,195 @@
+// Tests for topology structure, generators, paths and dynamic link state.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "net/topology.h"
+
+namespace viator::net {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t;
+  EXPECT_EQ(t.AddNodes(3), 0u);
+  EXPECT_EQ(t.node_count(), 3u);
+  const LinkId l = t.AddLink(0, 1);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_TRUE(t.IsLinkUp(l));
+}
+
+TEST(Topology, FindLinkIsSymmetric) {
+  Topology t;
+  t.AddNodes(2);
+  const LinkId l = t.AddLink(0, 1);
+  EXPECT_EQ(t.FindLink(0, 1), std::optional<LinkId>(l));
+  EXPECT_EQ(t.FindLink(1, 0), std::optional<LinkId>(l));
+}
+
+TEST(Topology, DownLinkIsInvisible) {
+  Topology t;
+  t.AddNodes(2);
+  const LinkId l = t.AddLink(0, 1);
+  t.SetLinkUp(l, false);
+  EXPECT_FALSE(t.FindLink(0, 1).has_value());
+  EXPECT_TRUE(t.Neighbors(0).empty());
+  t.SetLinkUp(l, true);
+  EXPECT_TRUE(t.FindLink(0, 1).has_value());
+}
+
+TEST(Topology, NodeFailureHidesNeighbors) {
+  Topology t;
+  t.AddNodes(3);
+  t.AddLink(0, 1);
+  t.AddLink(1, 2);
+  t.SetNodeUp(1, false);
+  EXPECT_TRUE(t.Neighbors(0).empty());
+  EXPECT_TRUE(t.ShortestPath(0, 2).empty());
+  t.SetNodeUp(1, true);
+  EXPECT_EQ(t.ShortestPath(0, 2).size(), 3u);
+}
+
+TEST(Topology, ShortestPathOnLine) {
+  Topology t = MakeLine(5);
+  const auto path = t.ShortestPath(0, 4);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 4u);
+}
+
+TEST(Topology, ShortestPathToSelf) {
+  Topology t = MakeLine(3);
+  EXPECT_EQ(t.ShortestPath(1, 1), std::vector<NodeId>{1});
+}
+
+TEST(Topology, ShortestPathDisconnected) {
+  Topology t;
+  t.AddNodes(4);
+  t.AddLink(0, 1);
+  t.AddLink(2, 3);
+  EXPECT_TRUE(t.ShortestPath(0, 3).empty());
+  EXPECT_EQ(t.NextHop(0, 3), kInvalidNode);
+}
+
+TEST(Topology, RingShortcut) {
+  Topology t = MakeRing(6);
+  // 0 -> 5 should go the short way around (1 hop).
+  EXPECT_EQ(t.ShortestPath(0, 5).size(), 2u);
+}
+
+TEST(Topology, FastestPathPrefersLowLatency) {
+  Topology t;
+  t.AddNodes(3);
+  LinkConfig slow;
+  slow.latency = 100 * sim::kMillisecond;
+  LinkConfig fast;
+  fast.latency = sim::kMillisecond;
+  t.AddLink(0, 2, slow);     // direct but slow
+  t.AddLink(0, 1, fast);
+  t.AddLink(1, 2, fast);     // two fast hops beat one slow hop
+  const auto path = t.FastestPath(0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 1u);
+  // Hop-count shortest still prefers the direct link.
+  EXPECT_EQ(t.ShortestPath(0, 2).size(), 2u);
+}
+
+TEST(Topology, NextHopIsSecondPathNode) {
+  Topology t = MakeLine(4);
+  EXPECT_EQ(t.NextHop(0, 3), 1u);
+  EXPECT_EQ(t.NextHop(2, 0), 1u);
+}
+
+TEST(Topology, ConnectivityCheck) {
+  Topology line = MakeLine(5);
+  EXPECT_TRUE(line.IsConnected());
+  Topology split;
+  split.AddNodes(4);
+  split.AddLink(0, 1);
+  EXPECT_FALSE(split.IsConnected());
+}
+
+TEST(Topology, EmptyAndSingletonAreConnected) {
+  Topology empty;
+  EXPECT_TRUE(empty.IsConnected());
+  Topology one;
+  one.AddNodes(1);
+  EXPECT_TRUE(one.IsConnected());
+}
+
+// ---- Generators ----
+
+TEST(Generators, LineShape) {
+  Topology t = MakeLine(10);
+  EXPECT_EQ(t.node_count(), 10u);
+  EXPECT_EQ(t.link_count(), 9u);
+  EXPECT_EQ(t.Neighbors(0).size(), 1u);
+  EXPECT_EQ(t.Neighbors(5).size(), 2u);
+}
+
+TEST(Generators, RingShape) {
+  Topology t = MakeRing(10);
+  EXPECT_EQ(t.link_count(), 10u);
+  for (NodeId n = 0; n < 10; ++n) EXPECT_EQ(t.Neighbors(n).size(), 2u);
+}
+
+TEST(Generators, StarShape) {
+  Topology t = MakeStar(9);
+  EXPECT_EQ(t.link_count(), 8u);
+  EXPECT_EQ(t.Neighbors(0).size(), 8u);
+  EXPECT_EQ(t.Neighbors(3).size(), 1u);
+}
+
+TEST(Generators, GridShape) {
+  Topology t = MakeGrid(3, 4);
+  EXPECT_EQ(t.node_count(), 12u);
+  // 3*3 horizontal + 2*4 vertical = 17 links.
+  EXPECT_EQ(t.link_count(), 17u);
+  EXPECT_TRUE(t.IsConnected());
+  // Corner has 2 neighbors, interior has 4.
+  EXPECT_EQ(t.Neighbors(0).size(), 2u);
+  EXPECT_EQ(t.Neighbors(5).size(), 4u);
+}
+
+class RandomTopologySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomTopologySweep, RandomGraphsAreConnected) {
+  Rng rng(GetParam() * 31 + 7);
+  Topology t = MakeRandom(GetParam(), 0.2, rng);
+  EXPECT_EQ(t.node_count(), GetParam());
+  EXPECT_TRUE(t.IsConnected());
+}
+
+TEST_P(RandomTopologySweep, ScaleFreeIsConnected) {
+  Rng rng(GetParam() * 17 + 3);
+  Topology t = MakeScaleFree(GetParam(), 2, rng);
+  EXPECT_EQ(t.node_count(), GetParam());
+  EXPECT_TRUE(t.IsConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTopologySweep,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(Generators, ScaleFreeHasHubs) {
+  Rng rng(5);
+  Topology t = MakeScaleFree(200, 2, rng);
+  std::size_t max_degree = 0;
+  for (NodeId n = 0; n < 200; ++n) {
+    max_degree = std::max(max_degree, t.Neighbors(n).size());
+  }
+  // Preferential attachment should grow hubs well beyond the mean (~4).
+  EXPECT_GE(max_degree, 10u);
+}
+
+TEST(Generators, GeometricRespectsRange) {
+  std::vector<Position> pos = {{0, 0}, {1, 0}, {10, 0}};
+  Topology t = MakeGeometric(pos, 2.0);
+  EXPECT_TRUE(t.FindLink(0, 1).has_value());
+  EXPECT_FALSE(t.FindLink(0, 2).has_value());
+  EXPECT_FALSE(t.FindLink(1, 2).has_value());
+}
+
+TEST(Generators, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace viator::net

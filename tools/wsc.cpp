@@ -1,0 +1,162 @@
+// wsc — the WanderScript tool: assemble, verify, disassemble and run
+// mobile-code programs outside the simulator. The developer-loop companion
+// to the in-network code distribution path.
+//
+//   wsc build   prog.ws [out.wsc]   assemble + verify, write binary image
+//   wsc verify  prog.ws             assemble + verify, report limits
+//   wsc dis     prog.wsc            disassemble a binary image
+//   wsc run     prog.ws [args...]   assemble + verify + execute hermetically
+//
+// `run` executes against a recording environment: emit/log are captured and
+// printed, all other syscalls return 0 (as the hermetic test environment
+// does). Exit code 0 = success, 1 = usage, 2 = assembly/verification error,
+// 3 = runtime fault.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "vm/verifier.h"
+
+using namespace viator;
+
+namespace {
+
+struct RecordingEnv : vm::Environment {
+  std::vector<std::int64_t> emissions;
+  Result<std::int64_t> Invoke(vm::Syscall id,
+                              std::span<const std::int64_t> args) override {
+    if (id == vm::Syscall::kEmit) {
+      emissions.push_back(args[0]);
+      return std::int64_t{1};
+    }
+    if (id == vm::Syscall::kLog) {
+      std::printf("[log] %lld\n", static_cast<long long>(args[0]));
+      return std::int64_t{1};
+    }
+    return std::int64_t{0};
+  }
+};
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wsc build <prog.ws> [out.wsc]\n"
+               "       wsc verify <prog.ws>\n"
+               "       wsc dis <prog.wsc>\n"
+               "       wsc run <prog.ws> [int-args...]\n");
+  return 1;
+}
+
+Result<vm::Program> AssembleFile(const std::string& path) {
+  std::string source;
+  if (!ReadFile(path, source)) {
+    return Status(NotFound("cannot read " + path));
+  }
+  // Program name = basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/');
+      slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return vm::Assemble(name, source);
+}
+
+int ReportError(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  if (command == "dis") {
+    std::string image;
+    if (!ReadFile(path, image)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    auto program = vm::Program::Deserialize(
+        std::as_bytes(std::span(image.data(), image.size())));
+    if (!program.ok()) return ReportError(program.status());
+    std::fputs(vm::Disassemble(*program).c_str(), stdout);
+    return 0;
+  }
+
+  auto program = AssembleFile(path);
+  if (!program.ok()) return ReportError(program.status());
+  const auto info = vm::Verify(*program);
+  if (!info.ok()) return ReportError(info.status());
+
+  if (command == "verify" || command == "build") {
+    std::printf("program  : %s\n", program->name().c_str());
+    std::printf("digest   : %s\n", DigestToHex(program->digest()).c_str());
+    std::printf("code     : %zu instructions, %zu constants\n",
+                program->code().size(), program->constants().size());
+    std::printf("wire     : %zu bytes\n", program->WireSize());
+    std::printf("max stack: %zu  syscall sites: %zu\n",
+                info->max_stack_depth, info->syscall_sites);
+    if (command == "build") {
+      const std::string out_path =
+          argc > 3 ? argv[3] : program->name() + ".wsc";
+      const auto image = program->Serialize();
+      std::ofstream out(out_path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(image.size()));
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+      std::printf("wrote    : %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "run") {
+    std::vector<std::int64_t> args;
+    for (int i = 3; i < argc; ++i) args.push_back(std::atoll(argv[i]));
+    RecordingEnv env;
+    vm::Interpreter interpreter;
+    const auto result =
+        interpreter.Run(*program, env, vm::kDefaultFuel, args);
+    for (std::int64_t value : env.emissions) {
+      std::printf("[emit] %lld\n", static_cast<long long>(value));
+    }
+    switch (result.reason) {
+      case vm::ExitReason::kHalted:
+        std::printf("halted: top-of-stack=%lld fuel=%llu\n",
+                    static_cast<long long>(result.top_of_stack),
+                    static_cast<unsigned long long>(result.fuel_used));
+        return 0;
+      case vm::ExitReason::kOutOfFuel:
+        std::printf("out of fuel after %llu instructions\n",
+                    static_cast<unsigned long long>(result.fuel_used));
+        return 0;
+      case vm::ExitReason::kFault:
+        std::fprintf(stderr, "fault: %s\n", result.fault_message.c_str());
+        return 3;
+    }
+    return 0;
+  }
+
+  return Usage();
+}
