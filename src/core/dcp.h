@@ -55,6 +55,13 @@ class MorphingEngine {
   std::uint64_t morphs_attempted() const { return attempted_; }
   std::uint64_t morphs_failed() const { return failed_; }
 
+  /// Restores morph accounting from a snapshot (genesis); the interface and
+  /// adapter configuration is re-declared by the services layer.
+  void RestoreCounters(std::uint64_t attempted, std::uint64_t failed) {
+    attempted_ = attempted;
+    failed_ = failed;
+  }
+
  private:
   struct Adapter {
     std::uint32_t overhead_bytes;
@@ -84,6 +91,23 @@ class CongruenceTracker {
   double score() const { return score_; }
 
   std::uint64_t observations() const { return observations_; }
+
+  /// Exact learned state, for snapshot/restore (genesis).
+  struct RawState {
+    InterfaceId predicted = 0;
+    std::map<InterfaceId, double> votes;
+    double score = 0.0;
+    std::uint64_t observations = 0;
+  };
+  RawState SaveState() const {
+    return RawState{predicted_, votes_, score_, observations_};
+  }
+  void RestoreState(RawState state) {
+    predicted_ = state.predicted;
+    votes_ = std::move(state.votes);
+    score_ = state.score;
+    observations_ = state.observations;
+  }
 
  private:
   double alpha_;

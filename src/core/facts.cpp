@@ -103,4 +103,27 @@ std::vector<FactKey> FactStore::Keys() const {
   return keys;
 }
 
+std::vector<Fact> FactStore::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(facts_.size());
+  for (const auto& [key, fact] : facts_) out.push_back(fact);
+  std::sort(out.begin(), out.end(),
+            [](const Fact& a, const Fact& b) { return a.key < b.key; });
+  return out;
+}
+
+void FactStore::RestoreState(const std::vector<Fact>& facts,
+                             sim::TimePoint window_start,
+                             std::uint64_t evictions,
+                             std::uint64_t expirations) {
+  facts_.clear();
+  for (const Fact& fact : facts) {
+    if (facts_.size() >= config_.capacity) break;
+    facts_[fact.key] = fact;
+  }
+  window_start_ = window_start;
+  evictions_ = evictions;
+  expirations_ = expirations;
+}
+
 }  // namespace viator::wli

@@ -74,6 +74,19 @@ class FactStore {
   std::uint64_t total_evictions() const { return evictions_; }
   std::uint64_t total_expirations() const { return expirations_; }
 
+  // ---- Snapshot/restore support (genesis) ----
+
+  sim::TimePoint window_start() const { return window_start_; }
+
+  /// Every live fact, sorted by key (deterministic serialization order).
+  std::vector<Fact> AllFacts() const;
+
+  /// Replaces the store's contents and counters with a snapshot. The
+  /// configured capacity still applies; excess facts are dropped.
+  void RestoreState(const std::vector<Fact>& facts,
+                    sim::TimePoint window_start, std::uint64_t evictions,
+                    std::uint64_t expirations);
+
  private:
   FactStoreConfig config_;
   std::unordered_map<FactKey, Fact> facts_;

@@ -155,6 +155,10 @@ Result<ShipBlueprint> DecodeBlueprint(std::span<const std::byte> genome) {
           static_cast<std::size_t>(node::FirstLevelRole::kRoleCount)) {
     return Status(InvalidArgument("blueprint has invalid role"));
   }
+  if (static_cast<std::size_t>(bp.ship_class) >
+      static_cast<std::size_t>(node::ShipClass::kAgent)) {
+    return Status(InvalidArgument("blueprint has invalid ship class"));
+  }
   return bp;
 }
 

@@ -63,6 +63,14 @@ class FunctionUsageLedger {
 
   std::size_t tracked_functions() const { return history_.size(); }
 
+  // ---- Snapshot/restore support (genesis) ----
+  const std::map<FunctionId, std::vector<Episode>>& history() const {
+    return history_;
+  }
+  void RestoreState(std::map<FunctionId, std::vector<Episode>> history) {
+    history_ = std::move(history);
+  }
+
  private:
   std::map<FunctionId, std::vector<Episode>> history_;
 };

@@ -69,6 +69,15 @@ class FeedbackBus {
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t suppressed() const { return suppressed_; }
 
+  /// Restores signal accounting from a snapshot (genesis); subscriptions are
+  /// runtime callbacks and must be re-registered by their owners.
+  void RestoreCounters(std::uint64_t published, std::uint64_t delivered,
+                       std::uint64_t suppressed) {
+    published_ = published;
+    delivered_ = delivered;
+    suppressed_ = suppressed;
+  }
+
  private:
   struct Subscription {
     SubscriptionId id;

@@ -65,6 +65,15 @@ class OverlayManager {
 
   std::uint64_t spawned_total() const { return spawned_total_; }
 
+  // ---- Snapshot/restore support (genesis) ----
+  OverlayId next_id() const { return next_id_; }
+  void RestoreState(std::map<OverlayId, Overlay> overlays, OverlayId next_id,
+                    std::uint64_t spawned_total) {
+    overlays_ = std::move(overlays);
+    next_id_ = next_id;
+    spawned_total_ = spawned_total;
+  }
+
  private:
   Result<VirtualLink> BuildLink(net::NodeId a, net::NodeId b,
                                 sim::Duration latency_bound) const;

@@ -40,8 +40,15 @@ class DemandTracker {
   /// Aggregate demand for `role` across all nodes.
   double TotalDemand(node::FirstLevelRole role) const;
 
- private:
   using Key = std::pair<net::NodeId, node::FirstLevelRole>;
+
+  // ---- Snapshot/restore support (genesis) ----
+  const std::map<Key, double>& demand() const { return demand_; }
+  void RestoreState(std::map<Key, double> demand) {
+    demand_ = std::move(demand);
+  }
+
+ private:
   double decay_;
   std::map<Key, double> demand_;
 };

@@ -113,6 +113,34 @@ class Ship : public vm::Environment {
   /// input); reading resets the window.
   std::unordered_map<int, double> DrainClassActivity();
 
+  // ---- Snapshot/restore support (genesis) ----
+
+  /// The ship-local RNG stream (kRandom syscall draws), exposed so a restore
+  /// can resume it exactly.
+  Rng& rng() { return rng_; }
+
+  /// Current per-class activity window without draining it.
+  const std::unordered_map<int, double>& class_activity() const {
+    return class_activity_;
+  }
+  void RestoreClassActivity(std::unordered_map<int, double> activity) {
+    class_activity_ = std::move(activity);
+  }
+
+  /// Shuttles parked awaiting demand-loaded code. A quiescent network (the
+  /// precondition for an exact snapshot) has none.
+  std::size_t waiting_for_code_count() const {
+    return waiting_for_code_.size();
+  }
+
+  void RestoreCounters(std::uint64_t consumed, std::uint64_t forwarded,
+                       std::uint64_t executions, std::uint64_t misses) {
+    shuttles_consumed_ = consumed;
+    shuttles_forwarded_ = forwarded;
+    code_executions_ = executions;
+    code_misses_ = misses;
+  }
+
  private:
   void Consume(const Shuttle& shuttle, net::NodeId arrived_from);
   void ExecuteShuttleCode(const Shuttle& shuttle, const vm::Program& program);

@@ -59,11 +59,20 @@ class ReputationSystem {
   std::size_t excluded_count() const;
   std::uint64_t reports() const { return reports_; }
 
- private:
   struct Entry {
     double score;
     bool excluded = false;
   };
+
+  // ---- Snapshot/restore support (genesis) ----
+  const std::map<net::NodeId, Entry>& entries() const { return entries_; }
+  void RestoreState(std::map<net::NodeId, Entry> entries,
+                    std::uint64_t reports) {
+    entries_ = std::move(entries);
+    reports_ = reports;
+  }
+
+ private:
   ReputationConfig config_;
   std::map<net::NodeId, Entry> entries_;
   std::uint64_t reports_ = 0;
@@ -90,8 +99,15 @@ class ClusterManager {
 
   double AffinityBetween(net::NodeId a, net::NodeId b) const;
 
- private:
   using Pair = std::pair<net::NodeId, net::NodeId>;
+
+  // ---- Snapshot/restore support (genesis) ----
+  const std::map<Pair, double>& affinities() const { return affinity_; }
+  void RestoreState(std::map<Pair, double> affinities) {
+    affinity_ = std::move(affinities);
+  }
+
+ private:
   static Pair Canonical(net::NodeId a, net::NodeId b) {
     return a < b ? Pair{a, b} : Pair{b, a};
   }

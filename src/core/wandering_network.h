@@ -172,6 +172,41 @@ class WanderingNetwork {
   const WnConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
   FunctionId NextFunctionId() { return next_function_id_++; }
+  FunctionId next_function_id() const { return next_function_id_; }
+
+  // ---- Genesis (whole-network snapshot/restore) support ----
+
+  vm::CodeRepository& repository() { return repository_; }
+  const vm::CodeRepository& repository() const { return repository_; }
+  const std::map<Digest, net::NodeId>& origins() const { return origins_; }
+  const std::map<FunctionId, node::FirstLevelRole>& placement_roles() const {
+    return placement_roles_;
+  }
+  const std::map<node::SecondLevelClass, OverlayId>& class_overlays() const {
+    return class_overlays_;
+  }
+
+  /// Raw placement restore: records where a function lives without the
+  /// deploy side effects (ledger episode, role switch) — those are restored
+  /// from their own snapshot sections.
+  void RestorePlacement(FunctionId function, net::NodeId host,
+                        node::FirstLevelRole role) {
+    placements_[function] = host;
+    placement_roles_[function] = role;
+  }
+  void RestoreOrigin(Digest digest, net::NodeId origin) {
+    origins_[digest] = origin;
+  }
+  void RestoreClassOverlay(node::SecondLevelClass cls, OverlayId overlay) {
+    class_overlays_[cls] = overlay;
+  }
+  void RestoreCounters(std::uint64_t migrations, std::uint64_t emerged,
+                       std::uint64_t pulse_count, FunctionId next_function) {
+    migrations_executed_ = migrations;
+    functions_emerged_ = emerged;
+    pulses_ = pulse_count;
+    next_function_id_ = next_function;
+  }
 
  private:
   void ExecuteMigrations();

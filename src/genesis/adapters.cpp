@@ -1,0 +1,271 @@
+#include "genesis/adapters.h"
+
+#include <utility>
+
+#include "base/tlv.h"
+#include "genesis/sections.h"
+
+namespace viator::genesis {
+namespace {
+
+Status OpenReader(std::span<const std::byte> payload, TlvReader& reader) {
+  reader = TlvReader(payload);
+  return reader.Verify();
+}
+
+}  // namespace
+
+// ---- FailureInjectorAdapter ------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagFailRng = 0x01;
+constexpr TlvTag kTagFailCount = 0x02;
+}  // namespace
+
+std::vector<std::byte> FailureInjectorAdapter::Save() const {
+  TlvWriter w;
+  w.PutNested(kTagFailRng, SaveRng(injector_.rng()));
+  w.PutU64(kTagFailCount, injector_.failures_injected());
+  return w.Finish();
+}
+
+Status FailureInjectorAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  std::uint64_t count = 0;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    if (rec->tag == kTagFailRng) {
+      if (Status s = LoadRng(rec->payload, injector_.rng()); !s.ok()) return s;
+    }
+    if (rec->tag == kTagFailCount) count = rec->AsU64();
+  }
+  injector_.RestoreState(count);
+  return OkStatus();
+}
+
+// ---- MobilityAdapter -------------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagMobRng = 0x01;
+constexpr TlvTag kTagMobNode = 0x02;
+constexpr TlvTag kTagMobX = 0x01;
+constexpr TlvTag kTagMobY = 0x02;
+constexpr TlvTag kTagMobTargetX = 0x03;
+constexpr TlvTag kTagMobTargetY = 0x04;
+constexpr TlvTag kTagMobSpeed = 0x05;
+constexpr TlvTag kTagMobPause = 0x06;
+constexpr TlvTag kTagMobPinned = 0x07;
+}  // namespace
+
+std::vector<std::byte> MobilityAdapter::Save() const {
+  TlvWriter w;
+  w.PutNested(kTagMobRng, SaveRng(mobility_.rng()));
+  for (std::size_t i = 0; i < mobility_.positions().size(); ++i) {
+    const net::Position& pos = mobility_.positions()[i];
+    const net::RandomWaypointMobility::NodeState& state =
+        mobility_.states()[i];
+    TlvWriter inner;
+    inner.PutDouble(kTagMobX, pos.x);
+    inner.PutDouble(kTagMobY, pos.y);
+    inner.PutDouble(kTagMobTargetX, state.target.x);
+    inner.PutDouble(kTagMobTargetY, state.target.y);
+    inner.PutDouble(kTagMobSpeed, state.speed);
+    inner.PutDouble(kTagMobPause, state.pause_left);
+    inner.PutU32(kTagMobPinned, mobility_.pinned()[i] ? 1 : 0);
+    w.PutNested(kTagMobNode, inner.Finish());
+  }
+  return w.Finish();
+}
+
+Status MobilityAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  std::vector<net::Position> positions;
+  std::vector<net::RandomWaypointMobility::NodeState> states;
+  std::vector<bool> pinned;
+  std::span<const std::byte> rng_payload;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    if (rec->tag == kTagMobRng) rng_payload = rec->payload;
+    if (rec->tag != kTagMobNode) continue;
+    TlvReader inner(rec->payload);
+    net::Position pos;
+    net::RandomWaypointMobility::NodeState state;
+    bool pin = false;
+    while (inner.HasNext()) {
+      auto f = inner.Next();
+      if (!f.ok()) return f.status();
+      switch (f->tag) {
+        case kTagMobX: pos.x = f->AsDouble(); break;
+        case kTagMobY: pos.y = f->AsDouble(); break;
+        case kTagMobTargetX: state.target.x = f->AsDouble(); break;
+        case kTagMobTargetY: state.target.y = f->AsDouble(); break;
+        case kTagMobSpeed: state.speed = f->AsDouble(); break;
+        case kTagMobPause: state.pause_left = f->AsDouble(); break;
+        case kTagMobPinned: pin = f->AsU32() != 0; break;
+        default: break;
+      }
+    }
+    positions.push_back(pos);
+    states.push_back(state);
+    pinned.push_back(pin);
+  }
+  if (positions.size() != mobility_.positions().size()) {
+    return InvalidArgument(
+        "mobility snapshot covers " + std::to_string(positions.size()) +
+        " nodes but the process has " +
+        std::to_string(mobility_.positions().size()));
+  }
+  if (!rng_payload.empty()) {
+    if (Status s = LoadRng(rng_payload, mobility_.rng()); !s.ok()) return s;
+  }
+  mobility_.RestoreState(std::move(positions), std::move(states),
+                         std::move(pinned));
+  return OkStatus();
+}
+
+// ---- DvRouterAdapter -------------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagDvAdsSent = 0x01;
+constexpr TlvTag kTagDvControlBytes = 0x02;
+constexpr TlvTag kTagDvDropped = 0x03;
+constexpr TlvTag kTagDvTable = 0x04;
+constexpr TlvTag kTagDvRoute = 0x01;
+constexpr TlvTag kTagDvDst = 0x01;
+constexpr TlvTag kTagDvNextHop = 0x02;
+constexpr TlvTag kTagDvMetric = 0x03;
+constexpr TlvTag kTagDvExpires = 0x04;
+}  // namespace
+
+std::vector<std::byte> DvRouterAdapter::Save() const {
+  TlvWriter w;
+  w.PutU64(kTagDvAdsSent, router_.ads_sent());
+  w.PutU64(kTagDvControlBytes, router_.control_bytes());
+  w.PutU64(kTagDvDropped, router_.dropped_no_route());
+  for (const auto& table : router_.tables()) {
+    TlvWriter tw;
+    for (const auto& [dst, route] : table) {
+      TlvWriter rw;
+      rw.PutU64(kTagDvDst, dst);
+      rw.PutU64(kTagDvNextHop, route.next_hop);
+      rw.PutU32(kTagDvMetric, route.metric);
+      rw.PutU64(kTagDvExpires, route.expires);
+      tw.PutNested(kTagDvRoute, rw.Finish());
+    }
+    w.PutNested(kTagDvTable, tw.Finish());
+  }
+  return w.Finish();
+}
+
+Status DvRouterAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  std::uint64_t ads = 0, bytes = 0, dropped = 0;
+  std::vector<std::map<net::NodeId, services::DistanceVectorRouter::Route>>
+      tables;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    switch (rec->tag) {
+      case kTagDvAdsSent: ads = rec->AsU64(); break;
+      case kTagDvControlBytes: bytes = rec->AsU64(); break;
+      case kTagDvDropped: dropped = rec->AsU64(); break;
+      case kTagDvTable: {
+        TlvReader tr(rec->payload);
+        std::map<net::NodeId, services::DistanceVectorRouter::Route> table;
+        while (tr.HasNext()) {
+          auto t = tr.Next();
+          if (!t.ok()) return t.status();
+          if (t->tag != kTagDvRoute) continue;
+          TlvReader rr(t->payload);
+          net::NodeId dst = net::kInvalidNode;
+          services::DistanceVectorRouter::Route route;
+          while (rr.HasNext()) {
+            auto f = rr.Next();
+            if (!f.ok()) return f.status();
+            switch (f->tag) {
+              case kTagDvDst: dst = static_cast<net::NodeId>(f->AsU64()); break;
+              case kTagDvNextHop:
+                route.next_hop = static_cast<net::NodeId>(f->AsU64());
+                break;
+              case kTagDvMetric: route.metric = f->AsU32(); break;
+              case kTagDvExpires: route.expires = f->AsU64(); break;
+              default: break;
+            }
+          }
+          table[dst] = route;
+        }
+        tables.push_back(std::move(table));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (tables.size() != router_.tables().size()) {
+    return InvalidArgument(
+        "routing snapshot covers " + std::to_string(tables.size()) +
+        " nodes but the router has " + std::to_string(router_.tables().size()));
+  }
+  router_.RestoreState(std::move(tables), ads, bytes, dropped);
+  return OkStatus();
+}
+
+// ---- CachingServiceAdapter -------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagCacheHits = 0x01;
+constexpr TlvTag kTagCacheMisses = 0x02;
+constexpr TlvTag kTagCacheObject = 0x03;
+constexpr TlvTag kTagObjectId = 0x01;
+constexpr TlvTag kTagObjectWord = 0x02;
+}  // namespace
+
+std::vector<std::byte> CachingServiceAdapter::Save() const {
+  TlvWriter w;
+  w.PutU64(kTagCacheHits, cache_.hits());
+  w.PutU64(kTagCacheMisses, cache_.misses());
+  for (const auto& [content_id, body] : cache_.CachedObjects()) {
+    TlvWriter inner;
+    inner.PutU64(kTagObjectId, content_id);
+    for (std::int64_t word : body) {
+      inner.PutU64(kTagObjectWord, static_cast<std::uint64_t>(word));
+    }
+    w.PutNested(kTagCacheObject, inner.Finish());
+  }
+  return w.Finish();
+}
+
+Status CachingServiceAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  std::uint64_t hits = 0, misses = 0;
+  std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>> objects;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    if (rec->tag == kTagCacheHits) hits = rec->AsU64();
+    if (rec->tag == kTagCacheMisses) misses = rec->AsU64();
+    if (rec->tag != kTagCacheObject) continue;
+    TlvReader inner(rec->payload);
+    std::uint64_t content_id = 0;
+    std::vector<std::int64_t> body;
+    while (inner.HasNext()) {
+      auto f = inner.Next();
+      if (!f.ok()) return f.status();
+      if (f->tag == kTagObjectId) content_id = f->AsU64();
+      if (f->tag == kTagObjectWord) {
+        body.push_back(static_cast<std::int64_t>(f->AsU64()));
+      }
+    }
+    objects.emplace_back(content_id, std::move(body));
+  }
+  cache_.RestoreState(objects, hits, misses);
+  return OkStatus();
+}
+
+}  // namespace viator::genesis

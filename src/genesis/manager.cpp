@@ -1,0 +1,250 @@
+#include "genesis/manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/hash.h"
+#include "genesis/sections.h"
+
+namespace viator::genesis {
+
+GenesisManager::GenesisManager(wli::WanderingNetwork& network,
+                               GenesisConfig config)
+    : network_(network), config_(config) {}
+
+Status GenesisManager::RegisterExtra(Snapshotable& extra) {
+  if (extra.section_id() < kExtraSectionBase) {
+    return InvalidArgument("extra section id " +
+                           std::to_string(extra.section_id()) +
+                           " collides with built-in sections (use "
+                           "kExtraSectionBase and above)");
+  }
+  for (const Snapshotable* existing : extras_) {
+    if (existing->section_id() == extra.section_id()) {
+      return InvalidArgument("extra section id " +
+                             std::to_string(extra.section_id()) +
+                             " registered twice");
+    }
+  }
+  extras_.push_back(&extra);
+  return OkStatus();
+}
+
+bool GenesisManager::IsQuiescent() const {
+  if (network_.simulator().PendingEvents() != 0) return false;
+  bool quiescent = true;
+  network_.ForEachShip([&quiescent](wli::Ship& ship) {
+    if (ship.waiting_for_code_count() != 0) quiescent = false;
+  });
+  return quiescent;
+}
+
+std::vector<GenesisManager::BuiltSection> GenesisManager::BuildSections() {
+  std::vector<BuiltSection> sections;
+  auto add = [&sections](std::uint32_t id, std::vector<std::byte> payload) {
+    sections.push_back(BuiltSection{id, 1, std::move(payload)});
+  };
+  add(kSectionTopology, SaveTopology(network_.topology()));
+  add(kSectionClock, SaveClock(network_.simulator()));
+  add(kSectionRepository, SaveRepository(network_));
+  add(kSectionShips, SaveShips(network_));
+  add(kSectionPlacements, SavePlacements(network_));
+  add(kSectionLedger, SaveLedger(network_));
+  add(kSectionReputation, SaveReputation(network_));
+  add(kSectionClusters, SaveClusters(network_));
+  add(kSectionDemand, SaveDemand(network_));
+  add(kSectionOverlays, SaveOverlays(network_));
+  add(kSectionMorphing, SaveMorphing(network_));
+  add(kSectionFeedback, SaveFeedback(network_));
+  add(kSectionNetworkCounters, SaveNetworkCounters(network_));
+  add(kSectionNetworkRng, SaveRng(network_.rng()));
+  add(kSectionFabric, SaveFabric(network_));
+  add(kSectionStats, SaveStats(network_.stats()));
+  add(kSectionTrace, SaveTrace(network_.trace()));
+  for (const Snapshotable* extra : extras_) {
+    sections.push_back(
+        BuiltSection{extra->section_id(), extra->section_version(),
+                     extra->Save()});
+  }
+  return sections;
+}
+
+Result<std::vector<std::byte>> GenesisManager::Capture(SnapshotKind kind) {
+  if (config_.require_quiescent && !IsQuiescent()) {
+    return Status(FailedPrecondition(
+        "capture requires a quiescent network (pending events or "
+        "shuttles waiting for code)"));
+  }
+  std::vector<BuiltSection> sections = BuildSections();
+
+  SnapshotHeader header;
+  header.kind = kind;
+  header.sequence = ++sequence_;
+  header.base_sequence =
+      kind == SnapshotKind::kDelta ? full_sequence_ : 0;
+  header.snap_time = network_.simulator().now();
+  header.scenario_tag = config_.scenario_tag;
+
+  SnapshotBuilder builder(header);
+  std::map<std::uint32_t, std::uint64_t> digests;
+  for (BuiltSection& section : sections) {
+    const std::uint64_t digest = HashBytes(section.payload);
+    digests[section.id] = digest;
+    if (kind == SnapshotKind::kDelta) {
+      const auto it = full_digests_.find(section.id);
+      if (it != full_digests_.end() && it->second == digest) {
+        continue;  // unchanged since the base full snapshot
+      }
+    }
+    builder.AddSection(section.id, std::move(section.payload),
+                       section.version);
+  }
+  ++captures_taken_;
+  if (kind == SnapshotKind::kFull) {
+    full_digests_ = std::move(digests);
+    full_sequence_ = header.sequence;
+    have_full_ = true;
+  }
+  return builder.Finish();
+}
+
+Result<std::vector<std::byte>> GenesisManager::CaptureFull() {
+  return Capture(SnapshotKind::kFull);
+}
+
+Result<std::vector<std::byte>> GenesisManager::CaptureDelta() {
+  if (!have_full_) {
+    return Status(FailedPrecondition(
+        "delta capture requires a prior full capture as base"));
+  }
+  return Capture(SnapshotKind::kDelta);
+}
+
+Status GenesisManager::RestoreFull(std::span<const std::byte> bytes) {
+  // Validate the entire container (framing, checksum, per-section digests)
+  // before touching any state.
+  auto snapshot = ParseSnapshot(bytes);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->header.kind != SnapshotKind::kFull) {
+    return FailedPrecondition(
+        "restore requires a full snapshot (merge deltas onto their base "
+        "first)");
+  }
+  if (network_.topology().node_count() != 0 || network_.ship_count() != 0) {
+    return FailedPrecondition(
+        "restore requires a freshly constructed network (empty topology, "
+        "no ships)");
+  }
+  if (network_.simulator().PendingEvents() != 0) {
+    return FailedPrecondition("restore requires an idle simulator");
+  }
+
+  // Dependency order: substrate (topology, clock) first, then code, then
+  // ships (AddShip forks the network RNG and installs fabric handlers), then
+  // engine state, and only then the RNG streams the earlier steps perturbed.
+  const ParsedSnapshot& snap = *snapshot;
+  struct Step {
+    std::uint32_t id;
+    Status (*apply)(std::span<const std::byte>, wli::WanderingNetwork&);
+  };
+  static constexpr Step kSteps[] = {
+      {kSectionTopology,
+       [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
+         return LoadTopology(p, n.topology());
+       }},
+      {kSectionClock,
+       [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
+         return LoadClock(p, n.simulator());
+       }},
+      {kSectionRepository, &LoadRepository},
+      {kSectionShips, &LoadShips},
+      {kSectionPlacements, &LoadPlacements},
+      {kSectionLedger, &LoadLedger},
+      {kSectionReputation, &LoadReputation},
+      {kSectionClusters, &LoadClusters},
+      {kSectionDemand, &LoadDemand},
+      {kSectionOverlays, &LoadOverlays},
+      {kSectionMorphing, &LoadMorphing},
+      {kSectionFeedback, &LoadFeedback},
+      {kSectionNetworkCounters, &LoadNetworkCounters},
+      {kSectionNetworkRng,
+       [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
+         return LoadRng(p, n.rng());
+       }},
+      {kSectionFabric, &LoadFabric},
+      {kSectionStats,
+       [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
+         return LoadStats(p, n.stats());
+       }},
+      {kSectionTrace,
+       [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
+         return LoadTrace(p, n.trace());
+       }},
+  };
+  for (const Step& step : kSteps) {
+    const SectionRecord* section = snap.Find(step.id);
+    if (section == nullptr) continue;  // absent sections keep fresh state
+    if (Status s = step.apply(section->payload, network_); !s.ok()) {
+      return Status(s.code(), "restoring section '" + SectionName(step.id) +
+                                  "': " + std::string(s.message()));
+    }
+  }
+  for (Snapshotable* extra : extras_) {
+    const SectionRecord* section = snap.Find(extra->section_id());
+    if (section == nullptr) continue;
+    if (section->version != extra->section_version()) {
+      return InvalidArgument(
+          "extra section '" + extra->section_name() + "' is version " +
+          std::to_string(section->version) + " but the registered handler "
+          "expects version " + std::to_string(extra->section_version()));
+    }
+    if (Status s = extra->Load(section->payload); !s.ok()) {
+      return Status(s.code(), "restoring section '" + extra->section_name() +
+                                  "': " + std::string(s.message()));
+    }
+  }
+
+  // The restored state is now the delta base: re-derive its digests so
+  // CaptureDelta() diffs against what was just applied.
+  sequence_ = snap.header.sequence;
+  full_sequence_ = snap.header.sequence;
+  full_digests_.clear();
+  for (const SectionRecord& section : snap.sections) {
+    full_digests_[section.id] = section.digest;
+  }
+  have_full_ = true;
+  return OkStatus();
+}
+
+void GenesisManager::CheckpointTick(sim::TimePoint until) {
+  if (IsQuiescent() || !config_.require_quiescent) {
+    auto snapshot = CaptureFull();
+    if (snapshot.ok()) {
+      checkpoints_.push_back(*std::move(snapshot));
+      while (checkpoints_.size() > config_.keep_checkpoints) {
+        checkpoints_.pop_front();
+      }
+      ++checkpoints_taken_;
+    } else {
+      ++checkpoints_skipped_;
+    }
+  } else {
+    ++checkpoints_skipped_;
+  }
+  const sim::TimePoint next =
+      network_.simulator().now() + config_.checkpoint_cadence;
+  if (next <= until) {
+    network_.simulator().ScheduleAt(next,
+                                    [this, until] { CheckpointTick(until); });
+  }
+}
+
+void GenesisManager::StartCheckpointing(sim::TimePoint until) {
+  const sim::TimePoint first =
+      network_.simulator().now() + config_.checkpoint_cadence;
+  if (first > until) return;
+  network_.simulator().ScheduleAt(first,
+                                  [this, until] { CheckpointTick(until); });
+}
+
+}  // namespace viator::genesis

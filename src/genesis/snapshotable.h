@@ -1,0 +1,43 @@
+// The serialize/restore interface a subsystem implements to ride in a
+// genesis snapshot as an "extra" section (services, failure/mobility
+// processes — anything the WanderingNetwork does not own directly).
+//
+// Core subsystems are serialized by the free functions in sections.h; this
+// interface exists so external state can join the same container without
+// the genesis library knowing every service type (manager calls Save()/
+// Load() through the base class).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace viator::genesis {
+
+class Snapshotable {
+ public:
+  virtual ~Snapshotable() = default;
+
+  /// Stable section identifier; extras must use kExtraSectionBase and above
+  /// and be unique within one manager.
+  virtual std::uint32_t section_id() const = 0;
+
+  /// Human name for inspection output.
+  virtual std::string section_name() const = 0;
+
+  /// Payload schema version, bumped on incompatible layout changes.
+  virtual std::uint32_t section_version() const { return 1; }
+
+  /// Serializes the subsystem state as a finished TLV stream.
+  virtual std::vector<std::byte> Save() const = 0;
+
+  /// Restores the subsystem from a payload produced by Save(). Must reject
+  /// malformed payloads with a Status error and leave usable state behind.
+  virtual Status Load(std::span<const std::byte> payload) = 0;
+};
+
+}  // namespace viator::genesis

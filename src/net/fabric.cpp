@@ -15,10 +15,10 @@ void Fabric::SetReceiveHandler(NodeId node, ReceiveHandler handler) {
 }
 
 void Fabric::EnsureLinkState(LinkId id) {
-  if (directions_.size() <= id) {
-    directions_.resize(id + 1);
-    link_bytes_.resize(id + 1, 0);
-  }
+  // Grow the two arrays independently: a state restore may have populated
+  // link_bytes_ beyond directions_, and a joint resize would truncate it.
+  if (directions_.size() <= id) directions_.resize(id + 1);
+  if (link_bytes_.size() <= id) link_bytes_.resize(id + 1, 0);
 }
 
 Status Fabric::Send(Frame frame) {

@@ -55,6 +55,24 @@ class Fabric {
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t next_frame_id() const { return next_frame_id_; }
+
+  /// The loss-process RNG, exposed for snapshot/restore (genesis): the loss
+  /// stream must resume exactly for deterministic replay.
+  Rng& rng() { return rng_; }
+
+  /// Restores transmission accounting from a snapshot. Only meaningful on a
+  /// quiescent fabric (no frames in flight); per-direction queue state is
+  /// rebuilt lazily and starts empty.
+  void RestoreState(std::vector<std::uint64_t> link_bytes,
+                    std::uint64_t frames_delivered, std::uint64_t frames_dropped,
+                    std::uint64_t bytes_sent, std::uint64_t next_frame) {
+    link_bytes_ = std::move(link_bytes);
+    frames_delivered_ = frames_delivered;
+    frames_dropped_ = frames_dropped;
+    bytes_sent_ = bytes_sent;
+    next_frame_id_ = next_frame;
+  }
 
  private:
   struct Direction {

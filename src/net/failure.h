@@ -37,6 +37,12 @@ class FailureInjector {
 
   std::uint64_t failures_injected() const { return failures_injected_; }
 
+  /// Failure-process RNG and counter restore, for snapshot/restore (genesis).
+  Rng& rng() { return rng_; }
+  void RestoreState(std::uint64_t failures_injected) {
+    failures_injected_ = failures_injected;
+  }
+
  private:
   void ScheduleLinkCycle(LinkId link, sim::TimePoint until,
                          sim::Duration mtbf, sim::Duration mttr);

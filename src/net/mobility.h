@@ -39,13 +39,25 @@ class RandomWaypointMobility {
   /// Pins a node (e.g. a base station) so Step never moves it.
   void Pin(std::size_t node) { pinned_[node] = true; }
 
- private:
   struct NodeState {
     Position target;
     double speed = 0.0;
     double pause_left = 0.0;
   };
 
+  // ---- Snapshot/restore support (genesis) ----
+  Rng& rng() { return rng_; }
+  const std::vector<NodeState>& states() const { return states_; }
+  const std::vector<bool>& pinned() const { return pinned_; }
+  /// Restores the full kinematic state; vectors must match the node count.
+  void RestoreState(std::vector<Position> positions,
+                    std::vector<NodeState> states, std::vector<bool> pinned) {
+    positions_ = std::move(positions);
+    states_ = std::move(states);
+    pinned_ = std::move(pinned);
+  }
+
+ private:
   void PickWaypoint(std::size_t i);
 
   Config config_;

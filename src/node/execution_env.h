@@ -49,6 +49,14 @@ class ExecutionEnvironment {
   std::uint64_t faults() const { return faults_; }
   std::uint64_t fuel_consumed() const { return fuel_consumed_; }
 
+  /// Restores usage accounting from a snapshot (genesis).
+  void RestoreUsage(std::uint64_t invocations, std::uint64_t faults,
+                    std::uint64_t fuel_consumed) {
+    invocations_ = invocations;
+    faults_ = faults;
+    fuel_consumed_ = fuel_consumed;
+  }
+
  private:
   std::uint32_t id_;
   SecondLevelClass cls_;

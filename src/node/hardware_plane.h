@@ -91,6 +91,12 @@ class HardwarePlane {
 
   std::uint64_t reconfigurations() const { return reconfigurations_; }
 
+  /// Restores the reconfiguration counter after replaying Install/Activate
+  /// calls from a snapshot (genesis).
+  void RestoreReconfigurations(std::uint64_t count) {
+    reconfigurations_ = count;
+  }
+
  private:
   sim::Duration InstallLatency(std::uint32_t gates) const;
 

@@ -71,6 +71,21 @@ class NodeOs {
   ExecutionEnvironment* FindEe(SecondLevelClass cls);
   std::size_t ee_count() const { return ees_.size(); }
 
+  /// Full EE registry, keyed by class (snapshot enumeration; genesis).
+  const std::map<SecondLevelClass, std::unique_ptr<ExecutionEnvironment>>&
+  ees() const {
+    return ees_;
+  }
+
+  /// Restores role state and the switch counter from a snapshot, without the
+  /// generation gating or latency of a real switch.
+  void RestoreRoleState(FirstLevelRole current, FirstLevelRole next,
+                        std::uint64_t switches) {
+    current_role_ = current;
+    next_step_ = next;
+    role_switches_ = switches;
+  }
+
   // ---- Code admission ----
 
   /// Optional security policy consulted before any code is admitted

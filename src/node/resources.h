@@ -45,6 +45,15 @@ class ResourceAccountant {
   std::uint64_t memory_used() const { return memory_used_; }
   std::uint32_t pending_shuttles() const { return pending_shuttles_; }
 
+  /// Restores usage accounting from a snapshot (genesis).
+  void RestoreUsage(std::uint64_t epoch_fuel, std::uint64_t total_fuel,
+                    std::uint64_t memory, std::uint32_t pending) {
+    epoch_fuel_used_ = epoch_fuel;
+    total_fuel_used_ = total_fuel;
+    memory_used_ = memory;
+    pending_shuttles_ = pending;
+  }
+
  private:
   ResourceQuota quota_;
   std::uint64_t epoch_fuel_used_ = 0;

@@ -93,6 +93,30 @@ void CachingService::StoreObject(std::uint64_t content_id,
                    std::make_pair(std::move(body), lru_.begin()));
 }
 
+std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>>
+CachingService::CachedObjects() const {
+  std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>> out;
+  out.reserve(lru_.size());
+  for (const std::uint64_t id : lru_) {
+    out.emplace_back(id, objects_.at(id).first);
+  }
+  return out;
+}
+
+void CachingService::RestoreState(
+    const std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>>&
+        objects,
+    std::uint64_t hits, std::uint64_t misses) {
+  lru_.clear();
+  objects_.clear();
+  // Insert LRU-first so the final recency order matches the capture.
+  for (auto it = objects.rbegin(); it != objects.rend(); ++it) {
+    StoreObject(it->first, it->second);
+  }
+  hits_ = hits;
+  misses_ = misses;
+}
+
 void CachingService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   if (shuttle.payload.empty()) return;
   const std::int64_t op = shuttle.payload[0];

@@ -58,6 +58,20 @@ class CachingService {
   std::uint64_t misses() const { return misses_; }
   double HitRatio() const;
 
+  // ---- Snapshot/restore support (genesis) ----
+
+  /// Cached content ids from most- to least-recently used, with bodies.
+  std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>>
+  CachedObjects() const;
+
+  /// Replays cached objects (given MRU-first, as CachedObjects returns) and
+  /// restores hit/miss accounting. Pending-miss queues are runtime state
+  /// and must be empty at capture.
+  void RestoreState(
+      const std::vector<std::pair<std::uint64_t, std::vector<std::int64_t>>>&
+          objects,
+      std::uint64_t hits, std::uint64_t misses);
+
  private:
   void OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle);
   void StoreObject(std::uint64_t content_id, std::vector<std::int64_t> body);

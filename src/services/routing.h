@@ -72,15 +72,28 @@ class DistanceVectorRouter {
   std::uint64_t control_bytes() const { return control_bytes_; }
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
 
- private:
-  // Control payload layout: {kDvAdvert, origin, count, (dst, metric)...}.
-  static constexpr std::int64_t kDvAdvert = 3;
-
   struct Route {
     net::NodeId next_hop = net::kInvalidNode;
     std::uint32_t metric = 0;
     sim::TimePoint expires = 0;
   };
+
+  // ---- Snapshot/restore support (genesis) ----
+  const std::vector<std::map<net::NodeId, Route>>& tables() const {
+    return tables_;
+  }
+  void RestoreState(std::vector<std::map<net::NodeId, Route>> tables,
+                    std::uint64_t ads_sent, std::uint64_t control_bytes,
+                    std::uint64_t dropped_no_route) {
+    tables_ = std::move(tables);
+    ads_sent_ = ads_sent;
+    control_bytes_ = control_bytes;
+    dropped_no_route_ = dropped_no_route;
+  }
+
+ private:
+  // Control payload layout: {kDvAdvert, origin, count, (dst, metric)...}.
+  static constexpr std::int64_t kDvAdvert = 3;
 
   void OnControl(wli::Ship& ship, const wli::Shuttle& shuttle);
   void ExpireStale(net::NodeId at);

@@ -51,6 +51,18 @@ std::uint64_t Simulator::RunAll() {
   return n;
 }
 
+Status Simulator::RestoreClock(TimePoint now, std::uint64_t dispatched_count) {
+  if (PendingEvents() != 0) {
+    return FailedPrecondition("cannot restore clock with events pending");
+  }
+  if (now < now_) {
+    return InvalidArgument("cannot restore clock backwards");
+  }
+  now_ = now;
+  dispatched_ = dispatched_count;
+  return OkStatus();
+}
+
 std::size_t Simulator::PendingEvents() const {
   // Count live entries by scanning a copy of the container. The underlying
   // vector is not directly reachable, so rebuild: acceptable for tests.

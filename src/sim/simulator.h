@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "base/status.h"
 #include "sim/time.h"
 
 namespace viator::sim {
@@ -73,6 +74,12 @@ class Simulator {
 
   /// Total events dispatched since construction.
   std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Restores the virtual clock to `now` with a given dispatch count
+  /// (snapshot restore). Only legal on an idle simulator: fails with
+  /// kFailedPrecondition when events are still queued, and with
+  /// kInvalidArgument when `now` would move the clock backwards.
+  Status RestoreClock(TimePoint now, std::uint64_t dispatched_count);
 
  private:
   struct Event {

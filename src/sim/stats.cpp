@@ -65,6 +65,31 @@ double Histogram::Quantile(double p) const {
 
 void Histogram::Reset() { *this = Histogram(); }
 
+Histogram::RawState Histogram::SaveState() const {
+  RawState state;
+  state.count = count_;
+  state.sum = sum_;
+  state.sum_sq = sum_sq_;
+  state.min = min_;
+  state.max = max_;
+  state.zeros = zeros_;
+  state.buckets.assign(buckets_, buckets_ + kBuckets);
+  return state;
+}
+
+void Histogram::RestoreState(const RawState& state) {
+  count_ = state.count;
+  sum_ = state.sum;
+  sum_sq_ = state.sum_sq;
+  min_ = state.min;
+  max_ = state.max;
+  zeros_ = state.zeros;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] =
+        i < static_cast<int>(state.buckets.size()) ? state.buckets[i] : 0;
+  }
+}
+
 double TimeSeries::Mean() const {
   if (samples_.empty()) return 0.0;
   double s = 0.0;

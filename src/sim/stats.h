@@ -53,6 +53,20 @@ class Histogram {
 
   void Reset();
 
+  /// Exact internal state, for snapshot/restore (genesis). Restoring a saved
+  /// state reproduces every accessor bit-for-bit.
+  struct RawState {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t zeros = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+  RawState SaveState() const;
+  void RestoreState(const RawState& state);
+
  private:
   static constexpr int kBuckets = 128;  // covers [1, 2^64) with 0.5 steps
   std::uint64_t count_ = 0;
@@ -77,6 +91,9 @@ class TimeSeries {
   /// Mean of the recorded values (0 when empty).
   double Mean() const;
 
+  /// Drops all samples (snapshot restore replaces the series wholesale).
+  void Clear() { samples_.clear(); }
+
  private:
   std::vector<Sample> samples_;
 };
@@ -97,9 +114,11 @@ class StatsRegistry {
   const TimeSeries* FindTimeSeries(const std::string& name) const;
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
 
  private:
   std::map<std::string, Counter> counters_;

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <cstdio>
+#include <ostream>
 
 #include "base/strings.h"
 
@@ -26,6 +27,53 @@ void TraceSink::Log(TimePoint time, TraceLevel level, std::string component,
   }
   entries_.push_back(Entry{time, level, std::move(component),
                            std::move(message)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes and control characters.
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceSink::WriteJsonl(std::ostream& out) const {
+  std::string line;
+  for (const auto& e : entries_) {
+    line.clear();
+    line += "{\"t\":";
+    line += std::to_string(e.time);
+    line += ",\"level\":\"";
+    line += TraceLevelName(e.level);
+    line += "\",\"component\":\"";
+    AppendJsonEscaped(line, e.component);
+    line += "\",\"message\":\"";
+    AppendJsonEscaped(line, e.message);
+    line += "\"}\n";
+    out << line;
+  }
+}
+
+void TraceSink::RestoreEntry(Entry entry) {
+  entries_.push_back(std::move(entry));
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 

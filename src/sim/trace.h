@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,16 @@ class TraceSink {
 
   /// All retained entries for one component, oldest first.
   std::vector<Entry> ForComponent(std::string_view component) const;
+
+  /// Dumps every retained entry as one JSON object per line
+  /// ({"t":...,"level":...,"component":...,"message":...}), oldest first.
+  /// Stable field order, so two sinks with equal entries produce byte-equal
+  /// output — the offline diff format for deterministic-resume checks.
+  void WriteJsonl(std::ostream& out) const;
+
+  /// Re-appends an entry verbatim (snapshot restore): bypasses the level
+  /// filter and stdout echo, but still enforces the capacity bound.
+  void RestoreEntry(Entry entry);
 
   void Clear() { entries_.clear(); }
 

@@ -1,5 +1,7 @@
 #include "vm/code_repository.h"
 
+#include <algorithm>
+
 namespace viator::vm {
 
 Result<Digest> CodeRepository::Install(Program program) {
@@ -55,6 +57,23 @@ const Program* CodeCache::Get(Digest digest) {
 
 bool CodeCache::Contains(Digest digest) const {
   return entries_.count(digest) != 0;
+}
+
+std::vector<Digest> CodeRepository::Digests() const {
+  std::vector<Digest> out;
+  out.reserve(programs_.size());
+  for (const auto& [digest, program] : programs_) out.push_back(digest);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Program* CodeCache::Peek(Digest digest) const {
+  const auto it = entries_.find(digest);
+  return it == entries_.end() ? nullptr : &it->second.program;
+}
+
+std::vector<Digest> CodeCache::LruDigests() const {
+  return {lru_.begin(), lru_.end()};
 }
 
 }  // namespace viator::vm

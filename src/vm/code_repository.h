@@ -14,6 +14,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "base/hash.h"
 #include "base/status.h"
@@ -31,6 +32,10 @@ class CodeRepository {
 
   /// Looks a program up by digest.
   const Program* Find(Digest digest) const;
+
+  /// All stored digests in ascending order (deterministic enumeration for
+  /// snapshot serialization).
+  std::vector<Digest> Digests() const;
 
   std::size_t size() const { return programs_.size(); }
 
@@ -54,6 +59,18 @@ class CodeCache {
 
   /// Lookup without recency/stat side effects.
   bool Contains(Digest digest) const;
+
+  /// Program lookup without recency/stat side effects (nullptr on miss).
+  const Program* Peek(Digest digest) const;
+
+  /// Resident digests from most- to least-recently used (snapshot order).
+  std::vector<Digest> LruDigests() const;
+
+  /// Restores hit/miss accounting from a snapshot.
+  void RestoreCounters(std::uint64_t hits, std::uint64_t misses) {
+    hits_ = hits;
+    misses_ = misses;
+  }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

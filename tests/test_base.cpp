@@ -303,6 +303,141 @@ TEST(Tlv, WrongTypeWidthYieldsZero) {
   EXPECT_EQ(rec->AsU64(), 0u);  // 3-byte payload is not a u64
 }
 
+// ---- Nested-record bounds and checksum coverage ----
+
+namespace {
+
+// Hand-crafts a raw record header (2-byte tag, 4-byte length, little endian)
+// so tests can build frames the writer refuses to produce.
+void AppendRawHeader(std::vector<std::byte>& out, TlvTag tag,
+                     std::uint32_t length) {
+  out.push_back(static_cast<std::byte>(tag & 0xff));
+  out.push_back(static_cast<std::byte>(tag >> 8));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((length >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+TEST(TlvNested, InnerCorruptionIsCaughtByInnerChecksum) {
+  TlvWriter inner;
+  inner.PutString(1, "nested genome");
+  auto inner_bytes = inner.Finish();
+  inner_bytes[9] ^= std::byte{0x01};  // corrupt before embedding
+
+  TlvWriter outer;
+  outer.PutNested(2, inner_bytes);
+  const auto outer_bytes = outer.Finish();
+
+  // The outer checksum covers the (already corrupt) embedded bytes, so only
+  // the inner stream's own trailer can catch the damage.
+  TlvReader r(outer_bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  TlvReader nested(rec->payload);
+  EXPECT_FALSE(nested.Verify().ok());
+}
+
+TEST(TlvNested, InnerTruncationIsCaughtByInnerChecksum) {
+  TlvWriter inner;
+  inner.PutU64(1, 42);
+  auto inner_bytes = inner.Finish();
+  inner_bytes.resize(inner_bytes.size() - 5);
+
+  TlvWriter outer;
+  outer.PutNested(2, inner_bytes);
+  const auto outer_bytes = outer.Finish();
+
+  TlvReader r(outer_bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  TlvReader nested(rec->payload);
+  EXPECT_FALSE(nested.Verify().ok());
+}
+
+TEST(TlvNested, DeepNestingRoundTrips) {
+  TlvWriter leaf;
+  leaf.PutU32(1, 0xbeef);
+  auto bytes = leaf.Finish();
+  for (int depth = 0; depth < 8; ++depth) {
+    TlvWriter wrap;
+    wrap.PutNested(static_cast<TlvTag>(100 + depth), bytes);
+    bytes = wrap.Finish();
+  }
+
+  std::span<const std::byte> view = bytes;
+  std::vector<std::vector<std::byte>> keep_alive;  // spans borrow from these
+  for (int depth = 7; depth >= 0; --depth) {
+    TlvReader r(view);
+    ASSERT_TRUE(r.Verify().ok()) << "depth " << depth;
+    auto rec = r.Next();
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->tag, static_cast<TlvTag>(100 + depth));
+    keep_alive.emplace_back(rec->payload.begin(), rec->payload.end());
+    view = keep_alive.back();
+  }
+  TlvReader r(view);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->AsU32(), 0xbeefu);
+}
+
+TEST(TlvNested, LengthBeyondBufferIsRejected) {
+  // A record claiming 100 payload bytes with only 4 present must fail both
+  // verification and iteration — never read out of bounds.
+  std::vector<std::byte> bytes;
+  AppendRawHeader(bytes, 7, 100);
+  for (int i = 0; i < 4; ++i) bytes.push_back(std::byte{0xaa});
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+  EXPECT_FALSE(r.Next().ok());
+}
+
+TEST(TlvNested, MaximalLengthFieldIsRejected) {
+  std::vector<std::byte> bytes;
+  AppendRawHeader(bytes, 7, 0xffffffffu);
+  bytes.push_back(std::byte{0x00});
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+  EXPECT_FALSE(r.Next().ok());
+}
+
+TEST(TlvNested, BytesAfterChecksumTrailerAreRejected) {
+  TlvWriter w;
+  w.PutU32(1, 9);
+  auto bytes = w.Finish();
+  bytes.push_back(std::byte{0x00});
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+}
+
+TEST(TlvNested, MalformedChecksumTrailerLengthIsRejected) {
+  // A trailer whose declared length is not 8 is malformed even if the bytes
+  // that follow happen to be in bounds.
+  std::vector<std::byte> bytes;
+  AppendRawHeader(bytes, kTlvChecksumTag, 4);
+  for (int i = 0; i < 4; ++i) bytes.push_back(std::byte{0x00});
+  TlvReader r(bytes);
+  EXPECT_FALSE(r.Verify().ok());
+}
+
+TEST(TlvNested, EmptyNestedPayloadFailsInnerVerify) {
+  TlvWriter outer;
+  outer.PutNested(3, {});
+  const auto bytes = outer.Finish();
+  TlvReader r(bytes);
+  ASSERT_TRUE(r.Verify().ok());
+  auto rec = r.Next();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->payload.empty());
+  TlvReader nested(rec->payload);
+  EXPECT_FALSE(nested.Verify().ok());  // no trailer in an empty stream
+}
+
 // Property sweep: serialize/parse round trip across sizes.
 class TlvRoundTrip : public ::testing::TestWithParam<int> {};
 

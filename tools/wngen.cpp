@@ -1,0 +1,171 @@
+// wngen — Network Genesis snapshot tool.
+//
+//   wngen inspect <snapshot>          header + section table
+//   wngen verify  <snapshot>          strict validation, exit 0/1
+//   wngen diff    <a> <b>             section-level comparison
+//   wngen merge   <base> <delta> <out> apply a delta to its base full
+//   wngen demo    <out-dir>           run a seeded scenario, write
+//                                     full.wns + delta.wns
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/wandering_network.h"
+#include "genesis/manager.h"
+#include "genesis/snapshot.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace viator;  // tool code; the library never does this
+
+int Usage() {
+  std::cerr << "usage: wngen inspect <snapshot>\n"
+               "       wngen verify  <snapshot>\n"
+               "       wngen diff    <a> <b>\n"
+               "       wngen merge   <base> <delta> <out>\n"
+               "       wngen demo    <out-dir>\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::vector<std::byte>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "wngen: cannot open " << path << "\n";
+    return false;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  out.resize(raw.size());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::vector<std::byte>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "wngen: cannot write " << path << "\n";
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+/// Seeded demo workload: a grid network exchanging shuttles across several
+/// metamorphosis pulses, snapshotted quiescent. Produces one full snapshot,
+/// then keeps running and emits a delta against it.
+int RunDemo(const std::string& out_dir) {
+  constexpr std::uint64_t kSeed = 424242;
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeGrid(3, 3);
+  wli::WnConfig config;
+  wli::WanderingNetwork network(simulator, topology, config, kSeed);
+  network.PopulateAllNodes();
+
+  genesis::GenesisConfig gconfig;
+  gconfig.scenario_tag = kSeed;
+  genesis::GenesisManager manager(network, gconfig);
+
+  const std::size_t nodes = topology.node_count();
+  auto drive = [&](int steps) {
+    for (int i = 0; i < steps; ++i) {
+      const auto src = static_cast<net::NodeId>(
+          network.rng().UniformInt(0, nodes - 1));
+      auto dst = static_cast<net::NodeId>(
+          network.rng().UniformInt(0, nodes - 1));
+      if (dst == src) dst = (dst + 1) % nodes;
+      (void)network.Inject(wli::Shuttle::Data(
+          src, dst, {static_cast<std::int64_t>(i), 7, 9}, i + 1));
+      simulator.RunAll();
+      if (i % 8 == 7) network.Pulse();
+    }
+  };
+
+  drive(64);
+  auto full = manager.CaptureFull();
+  if (!full.ok()) {
+    std::cerr << "wngen demo: " << full.status().ToString() << "\n";
+    return 1;
+  }
+  drive(16);
+  auto delta = manager.CaptureDelta();
+  if (!delta.ok()) {
+    std::cerr << "wngen demo: " << delta.status().ToString() << "\n";
+    return 1;
+  }
+  if (!WriteFile(out_dir + "/full.wns", *full) ||
+      !WriteFile(out_dir + "/delta.wns", *delta)) {
+    return 1;
+  }
+  std::cout << "wrote " << out_dir << "/full.wns (" << full->size()
+            << " bytes) and " << out_dir << "/delta.wns (" << delta->size()
+            << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "demo") {
+    return RunDemo(argv[2]);
+  }
+  if (cmd != "inspect" && cmd != "verify" && cmd != "diff" && cmd != "merge") {
+    return Usage();
+  }
+
+  std::vector<std::byte> first;
+  if (!ReadFile(argv[2], first)) return 1;
+
+  if (cmd == "inspect") {
+    auto text = genesis::InspectSnapshot(first);
+    if (!text.ok()) {
+      std::cerr << "wngen: " << text.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *text;
+    return 0;
+  }
+  if (cmd == "verify") {
+    if (Status s = genesis::VerifySnapshot(first); !s.ok()) {
+      std::cerr << "wngen: INVALID: " << s.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+  }
+  if (cmd == "diff") {
+    if (argc < 4) return Usage();
+    std::vector<std::byte> second;
+    if (!ReadFile(argv[3], second)) return 1;
+    auto text = genesis::DiffSnapshots(first, second);
+    if (!text.ok()) {
+      std::cerr << "wngen: " << text.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *text;
+    return 0;
+  }
+  if (cmd == "merge") {
+    if (argc < 5) return Usage();
+    std::vector<std::byte> delta;
+    if (!ReadFile(argv[3], delta)) return 1;
+    auto merged = genesis::MergeDelta(first, delta);
+    if (!merged.ok()) {
+      std::cerr << "wngen: " << merged.status().ToString() << "\n";
+      return 1;
+    }
+    if (!WriteFile(argv[4], *merged)) return 1;
+    std::cout << "wrote " << argv[4] << " (" << merged->size() << " bytes)\n";
+    return 0;
+  }
+  return Usage();
+}
