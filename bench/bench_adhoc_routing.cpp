@@ -16,6 +16,7 @@
 #include "services/routing.h"
 #include "sim/replica.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -141,6 +142,7 @@ int main() {
   TablePrinter table({"speed", "adaptive dlv%", "dv dlv%", "static dlv%",
                       "oracle dlv%", "aodv ctl KiB", "dv ctl KiB",
                       "discoveries"});
+  telemetry::BenchReport report("adhoc_routing");
   for (double speed : {0.0, 2.0, 6.0, 12.0, 20.0}) {
     auto run = [speed](RouterKind kind) {
       return sim::RunReplicas(
@@ -164,8 +166,13 @@ int main() {
                   Cell(adaptive, "ctl", 1),
                   Cell(dv, "ctl", 1),
                   Cell(adaptive, "disc", 1)});
+    const std::string suffix = "_mps" + FormatDouble(speed, 0);
+    report.Set("adaptive_delivery" + suffix, adaptive.at("dlv").mean);
+    report.Set("dv_delivery" + suffix, dv.at("dlv").mean);
+    report.Set("adaptive_control_kib" + suffix, adaptive.at("ctl").mean);
   }
   table.Print(std::cout);
+  (void)report.Write();
 
   std::printf("\nexpected shape: at 0 m/s all routers deliver equally; as"
               " speed grows the static router collapses (stale tables)."

@@ -14,6 +14,7 @@
 #include "services/boosting.h"
 #include "sim/replica.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -105,6 +106,7 @@ int main() {
               " (10 replicas per cell)\n\n");
   TablePrinter table({"loss", "strategy", "delivery", "segment bytes",
                       "mean latency"});
+  telemetry::BenchReport report("boosters");
   for (double loss : {0.05, 0.15, 0.30}) {
     for (Strategy strategy :
          {Strategy::kNone, Strategy::kFec, Strategy::kArq}) {
@@ -124,9 +126,14 @@ int main() {
                     FormatBytes(static_cast<std::uint64_t>(
                         agg.at("bytes").mean)),
                     FormatDouble(agg.at("lat").mean, 1) + " ms"});
+      const std::string suffix =
+          std::string("_") + name + "_loss" + FormatDouble(loss * 100, 0);
+      report.Set("delivery" + suffix, agg.at("dlv").mean);
+      report.Set("latency_ms" + suffix, agg.at("lat").mean);
     }
   }
   table.Print(std::cout);
+  (void)report.Write();
   std::printf("\nexpected shape: unboosted delivery tracks (1-loss). FEC"
               " recovers single losses per block for fixed overhead (parity"
               " + framing) and a fixed block-assembly delay, but degrades"

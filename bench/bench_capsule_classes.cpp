@@ -14,6 +14,7 @@
 #include "services/fission.h"
 #include "services/fusion.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -39,6 +40,7 @@ struct Net {
 
 int main() {
   std::printf("E6 / capsule mechanism classes vs passive baseline\n\n");
+  telemetry::BenchReport report("capsule_classes");
 
   // --- Fusion: bytes over the downstream path, window sweep ---
   {
@@ -240,6 +242,9 @@ int main() {
                                      static_cast<double>(combiner.bytes_in()),
                                  1) +
                         "%"});
+      report.Set("mux_savings_pct_batch" + std::to_string(batch),
+                 100.0 * combiner.BytesSaved() /
+                     static_cast<double>(combiner.bytes_in()));
     }
     std::printf("\n(e) combining: cross-flow multiplexing of 32 one-word"
                 " shuttles toward one sink\n");
@@ -249,5 +254,6 @@ int main() {
   std::printf("\nexpected shape: every class beats its passive counterpart,"
               " with the gap growing in window size / receiver count /"
               " popularity skew / roam distance / mux batch respectively.\n");
+  (void)report.Write();
   return 0;
 }

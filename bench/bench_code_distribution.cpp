@@ -12,12 +12,14 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "vm/assembler.h"
 
 using namespace viator;
 
 int main() {
   std::printf("E11 / demand code distribution\n\n");
+  telemetry::BenchReport report("code_distribution");
 
   // (a) Cold vs warm path over increasing distance to the origin.
   {
@@ -100,6 +102,8 @@ int main() {
                     std::to_string(cache.entry_count()),
                     FormatDouble(hit_ratio * 100, 1) + "%",
                     std::to_string(wn.ship(2)->code_misses())});
+      report.Set("hit_ratio_cap" + std::to_string(capacity_programs),
+                 hit_ratio);
     }
     std::printf("\n(b) per-ship code cache under 500 Zipf(1.0) shuttles"
                 " over 40 programs\n");
@@ -109,5 +113,6 @@ int main() {
   std::printf("\nexpected shape: cold/warm gap grows with origin distance"
               " (one request-reply RTT); hit ratio climbs with cache size"
               " and saturates at 100%% when every program fits.\n");
+  (void)report.Write();
   return 0;
 }

@@ -18,12 +18,14 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
 int main() {
   std::printf("E14 / dualistic congruence — morphing packets and ship-side"
               " congruence\n\n");
+  telemetry::BenchReport report("dcp_morphing");
 
   // (a) Interface diversity sweep on one network.
   {
@@ -102,6 +104,7 @@ int main() {
         {"shift at half (1 -> 3)", [](int i) { return i < 100 ? 1u : 3u; }},
         {"uniform mix of 4", [](int i) { return static_cast<wli::InterfaceId>(i % 4); }},
     };
+    int pattern_index = 0;
     for (const auto& pattern : patterns) {
       wli::CongruenceTracker tracker(0.15);
       int waived = 0;
@@ -111,6 +114,9 @@ int main() {
       table.AddRow({pattern.label, FormatDouble(tracker.score(), 3),
                     std::to_string(tracker.predicted()),
                     std::to_string(waived) + "/200"});
+      report.Set("congruence_pattern" + std::to_string(pattern_index),
+                 tracker.score());
+      report.Set("waived_pattern" + std::to_string(pattern_index++), waived);
     }
     std::printf("\n(b) ship-side a-priori adaptation (EWMA congruence)\n");
     table.Print(std::cout);
@@ -121,5 +127,6 @@ int main() {
               " a fixed byte/latency cost; congruence is ~1 for stable"
               " traffic, recovers after a shift, and stays low for mixed"
               " traffic (no structure to predict).\n");
+  (void)report.Write();
   return 0;
 }

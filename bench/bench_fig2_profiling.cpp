@@ -12,12 +12,14 @@
 #include "base/strings.h"
 #include "node/node_os.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "vm/assembler.h"
 
 using namespace viator;
 
 int main() {
   std::printf("E3 / Figure 2 — intra-node profiling and reconfiguration\n\n");
+  telemetry::BenchReport report("fig2_profiling");
 
   // (a) Role-switch latency per mechanism, across all first-level roles.
   {
@@ -138,10 +140,14 @@ done:
                   "dock latency " + FormatNanos(*dock)});
     std::printf("\n(d) plug-and-play hardware acceleration (netbot)\n");
     table.Print(std::cout);
+    report.Set("transcode_speedup_before", before);
+    report.Set("transcode_speedup_after", after);
+    report.Set("netbot_dock_ns", static_cast<double>(*dock));
   }
 
   std::printf("\nexpected shape: resident-sw << transported-code <<"
               " hw-reconfig < netbot-dock; modal wins under pressure;"
               " hardware speedup only after driver sync.\n");
+  (void)report.Write();
   return 0;
 }

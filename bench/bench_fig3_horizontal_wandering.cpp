@@ -15,6 +15,7 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -139,5 +140,11 @@ int main() {
   std::printf("expected shape: the wandering host tracks the hotspot, so"
               " its RTT stays near zero while the static host's RTT grows"
               " linearly with hotspot distance.\n");
+
+  telemetry::BenchReport report("fig3_horizontal_wandering");
+  report.Set("wandering_rtt_ms_total", wander_total);
+  report.Set("static_rtt_ms_total", pinned_total);
+  report.Set("epochs", static_cast<double>(wandering.size()));
+  (void)report.Write();
   return 0;
 }

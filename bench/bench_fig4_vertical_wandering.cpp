@@ -13,6 +13,7 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "vm/assembler.h"
 
 using namespace viator;
@@ -20,6 +21,7 @@ using namespace viator;
 int main() {
   std::printf("E5 / Figure 4 — vertical wandering: overlay spawning and"
               " QoS topology-on-demand\n\n");
+  telemetry::BenchReport report("fig4_vertical_wandering");
 
   // (a) Activity-driven overlay spawning.
   {
@@ -110,11 +112,15 @@ int main() {
                   std::to_string(repinned)});
     std::printf("\n(c) overlay self-repair on a 4x4 grid\n");
     table.Print(std::cout);
+    report.Set("stretch_before_failure", stretch_before);
+    report.Set("stretch_after_refresh", stretch_after);
+    report.Set("links_repinned", static_cast<double>(repinned));
   }
 
   std::printf("\nexpected shape: overlays appear where activity clusters;"
               " tighter QoS bounds admit fewer virtual links until the"
               " overlay disconnects; failures re-pin paths at a small"
               " stretch increase.\n");
+  (void)report.Write();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -127,11 +128,13 @@ int main() {
     std::printf("\n(b) metamorphosis cadence ablation\n");
     TablePrinter table({"pulse interval", "migrations", "xfer bytes",
                         "colocated req", "mean dwell"});
+    telemetry::BenchReport report("function_statistics");
     const AblationOutcome off = Run(250 * sim::kMillisecond, false);
     table.AddRow({"wandering off", std::to_string(off.migrations),
                   FormatBytes(off.migration_bytes),
                   FormatDouble(off.colocated_fraction * 100, 1) + "%",
                   FormatNanos(off.mean_dwell)});
+    report.Set("colocated_fraction_off", off.colocated_fraction);
     for (sim::Duration interval :
          {2 * sim::kSecond, sim::kSecond, 250 * sim::kMillisecond,
           100 * sim::kMillisecond}) {
@@ -140,8 +143,14 @@ int main() {
                     FormatBytes(out.migration_bytes),
                     FormatDouble(out.colocated_fraction * 100, 1) + "%",
                     FormatNanos(out.mean_dwell)});
+      const std::string suffix =
+          "_pulse_ms" + std::to_string(interval / sim::kMillisecond);
+      report.Set("colocated_fraction" + suffix, out.colocated_fraction);
+      report.Set("migrations" + suffix,
+                 static_cast<double>(out.migrations));
     }
     table.Print(std::cout);
+    (void)report.Write();
   }
 
   std::printf("\nexpected shape: faster pulses track the hotspot better"

@@ -16,6 +16,7 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "vm/assembler.h"
 
 using namespace viator;
@@ -144,6 +145,7 @@ int main() {
                       "jets", "migrations", "post-shift RTT"});
   const char* labels[] = {"1G (classic AN)", "2G (ANON/Tempest/Genesis)",
                           "3G (+hw reconfig)", "4G (Viator)"};
+  telemetry::BenchReport report("generations");
   for (int generation = 1; generation <= 4; ++generation) {
     const auto out = Run(generation);
     table.AddRow({labels[generation - 1],
@@ -152,8 +154,12 @@ int main() {
                   out.jet_ran ? "yes" : "refused",
                   std::to_string(out.migrations),
                   FormatDouble(out.post_shift_rtt_ms, 1) + " ms"});
+    const std::string suffix = "_gen" + std::to_string(generation);
+    report.Set("migrations" + suffix, static_cast<double>(out.migrations));
+    report.Set("post_shift_rtt_ms" + suffix, out.post_shift_rtt_ms);
   }
   table.Print(std::cout);
+  (void)report.Write();
 
   std::printf("\nexpected shape: capabilities accrete monotonically with"
               " generation; only 4G migrates the function after the demand"

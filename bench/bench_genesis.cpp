@@ -17,6 +17,7 @@
 #include "genesis/snapshot.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -86,6 +87,7 @@ int main() {
 
   TablePrinter table({"grid", "ships", "full KB", "capture ms", "restore ms",
                       "delta KB", "delta/full"});
+  telemetry::BenchReport report("genesis");
 
   for (const int side : {4, 6, 8}) {
     double capture_ms = 0, restore_ms = 0;
@@ -146,8 +148,15 @@ int main() {
          FormatDouble(static_cast<double>(delta_bytes) /
                           static_cast<double>(full_bytes),
                       2)});
+    const std::string suffix =
+        "_" + std::to_string(side) + "x" + std::to_string(side);
+    report.Set("full_kib" + suffix,
+               static_cast<double>(full_bytes) / 1024.0);
+    report.Set("capture_ms" + suffix, capture_ms / kReps);
+    report.Set("restore_ms" + suffix, restore_ms / kReps);
   }
   table.Print(std::cout);
+  (void)report.Write();
 
   std::printf("\nexpected shape: capture and restore scale roughly linearly"
               " with ship count; deltas after a short perturbation stay well"

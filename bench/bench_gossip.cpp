@@ -14,6 +14,7 @@
 #include "services/gossip.h"
 #include "sim/replica.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -64,6 +65,7 @@ int main() {
               " (random graphs, 10 replicas per cell)\n\n");
   TablePrinter table({"ships", "fanout", "rounds to 50%", "rounds to 100%",
                       "kq shuttles"});
+  telemetry::BenchReport report("gossip");
   for (std::size_t ships : {16u, 32u, 64u}) {
     for (std::size_t fanout : {1u, 2u, 4u}) {
       const auto agg = sim::RunReplicas(
@@ -78,9 +80,14 @@ int main() {
                     FormatDouble(agg.at("half").mean, 1),
                     FormatDouble(agg.at("full").mean, 1),
                     FormatDouble(agg.at("shuttles").mean, 0)});
+      const std::string suffix =
+          "_s" + std::to_string(ships) + "_f" + std::to_string(fanout);
+      report.Set("rounds_to_full" + suffix, agg.at("full").mean);
+      report.Set("kq_shuttles" + suffix, agg.at("shuttles").mean);
     }
   }
   table.Print(std::cout);
+  (void)report.Write();
   std::printf("\nexpected shape: rounds grow logarithmically with network"
               " size and shrink with fanout; shuttle cost grows with both"
               " — the dissemination/overhead trade of Def. 3(2).\n");

@@ -17,6 +17,7 @@
 #include "services/security_mgmt.h"
 #include "services/transcoding.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -112,14 +113,21 @@ int main() {
       {"per-node only", false, true},
       {"per-session + per-node", true, true},
   };
+  telemetry::BenchReport report("mfp_dimensions");
+  int case_index = 0;
   for (const auto& c : cases) {
     const Outcome out = Run(c.session, c.node);
     table.AddRow({c.label, std::to_string(out.queue_drops),
                   std::to_string(out.delivered),
                   FormatDouble(out.final_quality, 2),
                   FormatDouble(out.min_rate, 2)});
+    const std::string suffix = "_case" + std::to_string(case_index++);
+    report.Set("queue_drops" + suffix,
+               static_cast<double>(out.queue_drops));
+    report.Set("delivered" + suffix, static_cast<double>(out.delivered));
   }
   table.Print(std::cout);
+  (void)report.Write();
 
   std::printf("\nexpected shape: the open loop drops heavily; each feedback"
               " dimension alone cuts drops (by degrading quality or by"

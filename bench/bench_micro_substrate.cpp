@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "base/hash.h"
+#include "telemetry/bench_report.h"
 #include "base/rng.h"
 #include "base/tlv.h"
 #include "core/facts.h"
@@ -162,4 +163,39 @@ void BM_ZipfDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfDraw);
 
+/// Console output as usual, plus every run's adjusted real time captured
+/// into BENCH_micro_substrate.json for the CI perf trajectory.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(telemetry::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.Set(run.benchmark_name() + ".real_ns",
+                  run.GetAdjustedRealTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.Set(run.benchmark_name() + ".items_per_s",
+                    items->second.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  telemetry::BenchReport& report_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  telemetry::BenchReport report("micro_substrate");
+  JsonCaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  (void)report.Write();
+  return 0;
+}

@@ -18,11 +18,13 @@
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
 int main() {
   std::printf("E7 / PMP fact lifetime dynamics\n\n");
+  telemetry::BenchReport report("pmp_fact_lifetime");
 
   // (a) Survival grid: touch rate x weight, threshold 1.0 Hz.
   {
@@ -138,7 +140,11 @@ int main() {
     std::printf("    kq shuttles absorbed: %llu\n",
                 static_cast<unsigned long long>(
                     wn.stats().CounterValue("wn.kq_absorbed")));
+    report.Set("fact_alive_after_exchange", alive ? 1.0 : 0.0);
+    report.Set("kq_absorbed",
+               static_cast<double>(wn.stats().CounterValue("wn.kq_absorbed")));
   }
+  (void)report.Write();
 
   std::printf("\nexpected shape: survival follows rate x weight vs"
               " threshold; functions die exactly when their facts do;"

@@ -14,6 +14,7 @@
 #include "net/topology.h"
 #include "sim/replica.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -59,6 +60,7 @@ int main() {
 
   TablePrinter table({"co-occurrence p", "support=4", "support=8",
                       "support=12"});
+  telemetry::BenchReport report("resonance");
   for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
     std::vector<std::string> row{FormatDouble(p, 1)};
     for (std::size_t support : {4u, 8u, 12u}) {
@@ -69,10 +71,14 @@ int main() {
           },
           20, 777 + support);
       row.push_back(FormatDouble(agg.at("emerged").mean, 2));
+      report.Set("emerged_p" + std::to_string(static_cast<int>(p * 10)) +
+                     "_support" + std::to_string(support),
+                 agg.at("emerged").mean);
     }
     table.AddRow(row);
   }
   table.Print(std::cout);
+  (void)report.Write();
 
   // Emergent functions acquire a role and land at the demand hotspot.
   {

@@ -15,12 +15,14 @@
 #include "net/topology.h"
 #include "services/security_mgmt.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "vm/assembler.h"
 
 using namespace viator;
 
 int main() {
   std::printf("E13 / security management\n\n");
+  telemetry::BenchReport report("security");
 
   // (a) Authorization matrix.
   {
@@ -121,6 +123,9 @@ done:
                         wn.stats().CounterValue("wn.jet_replications")),
                     std::to_string(
                         wn.stats().CounterValue("wn.jet_refused"))});
+      report.Set("jet_replications_cap" + std::to_string(cap),
+                 static_cast<double>(
+                     wn.stats().CounterValue("wn.jet_replications")));
     }
     std::printf("\n(b) jet containment on a 16-ship random net: a jet"
                 " requesting budget 100 is clamped by the security class\n");
@@ -147,7 +152,11 @@ done:
                     wn.stats().CounterValue("wn.exec_out_of_fuel")),
                 static_cast<unsigned long long>(
                     config.quota.fuel_per_capsule));
+    report.Set("exec_out_of_fuel",
+               static_cast<double>(
+                   wn.stats().CounterValue("wn.exec_out_of_fuel")));
   }
+  (void)report.Write();
 
   std::printf("\nexpected shape: only correctly signed code installs when"
               " the key is on; jet population scales with the cap and is"

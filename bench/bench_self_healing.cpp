@@ -17,6 +17,7 @@
 #include "services/security_mgmt.h"
 #include "sim/replica.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 
 using namespace viator;
 
@@ -104,8 +105,9 @@ int main() {
               " failures over 12 s (15 replicas per row)\n\n");
 
   TablePrinter table({"configuration", "availability", "heals", "fns regrown"});
-  auto add_row = [&](const std::string& label, bool healing,
-                     sim::Duration delay) {
+  telemetry::BenchReport report("self_healing");
+  auto add_row = [&](const std::string& label, const std::string& key,
+                     bool healing, sim::Duration delay) {
     const auto agg = sim::RunReplicas(
         [healing, delay](std::size_t, std::uint64_t seed) {
           const Outcome o = RunTrial(healing, delay, seed);
@@ -119,13 +121,18 @@ int main() {
                       FormatDouble(agg.at("avail").stddev * 100, 1),
                   FormatDouble(agg.at("heals").mean, 1),
                   FormatDouble(agg.at("regrown").mean, 1)});
+    report.Set("availability_" + key, agg.at("avail").mean);
+    report.Set("heals_" + key, agg.at("heals").mean);
   };
 
-  add_row("no self-healing (passive)", false, 0);
-  add_row("healing, detect 1 s", true, sim::kSecond);
-  add_row("healing, detect 250 ms", true, 250 * sim::kMillisecond);
-  add_row("healing, detect 50 ms", true, 50 * sim::kMillisecond);
+  add_row("no self-healing (passive)", "off", false, 0);
+  add_row("healing, detect 1 s", "detect_1000ms", true, sim::kSecond);
+  add_row("healing, detect 250 ms", "detect_250ms", true,
+          250 * sim::kMillisecond);
+  add_row("healing, detect 50 ms", "detect_50ms", true,
+          50 * sim::kMillisecond);
   table.Print(std::cout);
+  (void)report.Write();
 
   std::printf("\nexpected shape: availability without healing degrades with"
               " each failure and never recovers; with healing it returns to"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/wandering_network.h"
+#include "telemetry/telemetry.h"
 #include "vm/assembler.h"
 
 namespace viator::wli {
@@ -43,6 +44,10 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
     }
     --shuttle.header.ttl;
     ++shuttles_forwarded_;
+    // Causal hop: the next hop's span becomes a child of this forward.
+    telemetry::SpanScope span(network_.telemetry(), shuttle.trace, id_,
+                              "ship", "forward");
+    shuttle.trace = span.context();
     network_.feedback().Publish(
         FeedbackSignal{FeedbackDimension::kPerMessage, id_,
                        shuttle.header.flow_id, 1.0,
@@ -54,9 +59,16 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
 }
 
 void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
+  telemetry::Profiler::Scope prof(&network_.telemetry().profiler(),
+                                  "ship.consume");
   // DCP dock: the shuttle morphs to this ship class's interface; the ship's
   // congruence tracker simultaneously learns the traffic structure.
   Shuttle docked = shuttle;
+  // All work this delivery causes (handlers, services, replies) becomes a
+  // child of the consume span.
+  telemetry::SpanScope span(network_.telemetry(), docked.trace, id_, "ship",
+                            "consume");
+  docked.trace = span.context();
   const MorphOutcome morph = network_.morphing().MorphForDock(docked);
   if (!morph.success) {
     network_.stats().GetCounter("wn.dock_rejected").Add();
@@ -85,8 +97,10 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
             waiting_for_code_[docked.code_digest].push_back(docked);
             const net::NodeId origin = network_.OriginOf(docked.code_digest);
             if (origin != net::kInvalidNode && origin != id_) {
-              (void)SendShuttle(
-                  Shuttle::CodeRequest(id_, origin, docked.code_digest));
+              Shuttle request =
+                  Shuttle::CodeRequest(id_, origin, docked.code_digest);
+              request.trace = docked.trace;
+              (void)SendShuttle(std::move(request));
             }
           } else {
             network_.stats().GetCounter("wn.pending_overflow").Add();
@@ -135,6 +149,10 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
 
 void Ship::ExecuteShuttleCode(const Shuttle& shuttle,
                               const vm::Program& program) {
+  telemetry::Profiler::Scope prof(&network_.telemetry().profiler(),
+                                  "ee.execute");
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, id_, "ee",
+                            "execute");
   auto& ee = os_.GetOrCreateEe(node::DefaultClassFor(os_.current_role()));
   current_shuttle_ = &shuttle;
   last_emissions_.clear();
@@ -209,12 +227,15 @@ void Ship::HandleCodeRequest(const Shuttle& shuttle) {
     network_.stats().GetCounter("wn.code_request_miss").Add();
     return;
   }
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, id_, "ship",
+                            "code_reply");
   Shuttle reply;
   reply.header.source = id_;
   reply.header.destination = shuttle.header.source;
   reply.header.kind = ShuttleKind::kCodeReply;
   reply.code_digest = digest;
   reply.code_image = program->Serialize();
+  reply.trace = span.context();
   const std::uint64_t key = network_.config().auth_key;
   if (key != 0) reply.auth_tag = KeyedTag(key, reply.code_image);
   (void)SendShuttle(std::move(reply));
@@ -399,6 +420,7 @@ Result<std::int64_t> Ship::Invoke(vm::Syscall id,
       if (dst >= network_.topology().node_count()) return std::int64_t{0};
       Shuttle out = Shuttle::Data(id_, dst, {args[2]},
                                   static_cast<std::uint64_t>(args[1]));
+      if (current_shuttle_ != nullptr) out.trace = current_shuttle_->trace;
       return static_cast<std::int64_t>(SendShuttle(std::move(out)).ok());
     }
     case Syscall::kRole:

@@ -16,6 +16,7 @@
 #include "base/hash.h"
 #include "net/types.h"
 #include "node/profile.h"
+#include "telemetry/trace_context.h"
 
 namespace viator::wli {
 
@@ -69,6 +70,11 @@ struct Shuttle {
 
   /// Keyed authorization tag over the code image (capsule authorization).
   std::uint64_t auth_tag = 0;
+
+  /// Causal trace context (observability metadata). Travels with the shuttle
+  /// — including inside Frame payloads across hops — but is NOT part of
+  /// WireSize(), so tracing never changes transport behavior.
+  telemetry::TraceContext trace;
 
   /// Wire size used for transmission accounting: fixed header plus the
   /// variable sections.

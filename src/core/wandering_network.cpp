@@ -12,6 +12,9 @@ WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
       config_(config),
       rng_(seed),
       trace_(8192),
+      // Trace-id stream is forked off the seed with its own salt so tracing
+      // never consumes draws from (or correlates with) the network stream.
+      telemetry_(simulator, config.telemetry, seed ^ 0xd6e8feb86659fd93ULL),
       fabric_(simulator, topology, Rng(seed ^ 0x5bd1e995), stats_),
       reputation_(config.reputation),
       overlays_(topology),
@@ -81,6 +84,13 @@ Status WanderingNetwork::Inject(Shuttle shuttle) {
   if (src >= ships_.size() || !ships_[src]) {
     return InvalidArgument("no ship at source node");
   }
+  // A freshly injected capsule starts a new trace; the inject span is the
+  // root of its causal tree. Both calls are inert when tracing is off.
+  if (telemetry_.tracing_enabled() && !shuttle.trace.active()) {
+    shuttle.trace = telemetry_.StartTrace();
+  }
+  telemetry::SpanScope span(telemetry_, shuttle.trace, src, "wn", "inject");
+  shuttle.trace = span.context();
   if (shuttle.header.destination == src) {
     ships_[src]->Receive(std::move(shuttle), src);
     return OkStatus();
@@ -183,6 +193,11 @@ Status WanderingNetwork::MigrateFunction(FunctionId function, net::NodeId to) {
     carrier.auth_tag = KeyedTag(config_.auth_key, carrier.code_image);
   }
 
+  if (telemetry_.tracing_enabled()) carrier.trace = telemetry_.StartTrace();
+  telemetry::SpanScope span(telemetry_, carrier.trace, from_node, "wn",
+                            "migrate");
+  carrier.trace = span.context();
+
   from->functions().Remove(function);
   placements_[function] = to;  // provisional; confirmed on install
   ++migrations_executed_;
@@ -202,6 +217,7 @@ void WanderingNetwork::ExecuteMigrations() {
 }
 
 void WanderingNetwork::Pulse() {
+  telemetry::Profiler::Scope prof(&telemetry_.profiler(), "wn.pulse");
   ++pulses_;
   const sim::TimePoint now = simulator_.now();
 
@@ -292,12 +308,15 @@ void WanderingNetwork::Pulse() {
 }
 
 void WanderingNetwork::StartPulse(sim::TimePoint until) {
-  simulator_.ScheduleAfter(config_.pulse_interval, [this, until] {
-    Pulse();
-    if (simulator_.now() + config_.pulse_interval <= until) {
-      StartPulse(until);
-    }
-  });
+  simulator_.ScheduleAfter(
+      config_.pulse_interval,
+      [this, until] {
+        Pulse();
+        if (simulator_.now() + config_.pulse_interval <= until) {
+          StartPulse(until);
+        }
+      },
+      "wn.pulse");
 }
 
 net::NodeId WanderingNetwork::FirstShipNode() const {

@@ -35,6 +35,7 @@
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "telemetry/telemetry.h"
 #include "vm/code_repository.h"
 
 namespace viator::wli {
@@ -65,6 +66,9 @@ struct WnConfig {
 
   /// Upper bound the security class clamps jet replication budgets to.
   std::uint32_t jet_budget_cap = 16;
+
+  /// Wandering Observatory switches (both off by default: zero-cost).
+  telemetry::TelemetryConfig telemetry;
 };
 
 class WanderingNetwork {
@@ -161,6 +165,8 @@ class WanderingNetwork {
   net::Fabric& fabric() { return fabric_; }
   sim::StatsRegistry& stats() { return stats_; }
   sim::TraceSink& trace() { return trace_; }
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
   MorphingEngine& morphing() { return morphing_; }
   FeedbackBus& feedback() { return feedback_; }
   ReputationSystem& reputation() { return reputation_; }
@@ -218,6 +224,7 @@ class WanderingNetwork {
   Rng rng_;
   sim::StatsRegistry stats_;
   sim::TraceSink trace_;
+  telemetry::Telemetry telemetry_;
   net::Fabric fabric_;
 
   std::vector<std::unique_ptr<Ship>> ships_;  // indexed by NodeId

@@ -268,4 +268,108 @@ Status CachingServiceAdapter::Load(std::span<const std::byte> payload) {
   return OkStatus();
 }
 
+// ---- TelemetryAdapter ------------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagTelRngWord = 0x01;       // ×4, xoshiro words in order
+constexpr TlvTag kTagTelLastSpanId = 0x02;
+constexpr TlvTag kTagTelTracesStarted = 0x03;
+constexpr TlvTag kTagTelSpansRecorded = 0x04;
+constexpr TlvTag kTagTelSpansDropped = 0x05;
+constexpr TlvTag kTagTelSpan = 0x06;          // nested, one per record
+constexpr TlvTag kTagSpanTraceId = 0x01;
+constexpr TlvTag kTagSpanId = 0x02;
+constexpr TlvTag kTagSpanParentId = 0x03;
+constexpr TlvTag kTagSpanShip = 0x04;
+constexpr TlvTag kTagSpanComponent = 0x05;
+constexpr TlvTag kTagSpanName = 0x06;
+constexpr TlvTag kTagSpanStart = 0x07;
+constexpr TlvTag kTagSpanEnd = 0x08;
+}  // namespace
+
+std::vector<std::byte> TelemetryAdapter::Save() const {
+  const telemetry::SpanCollector::RawState state =
+      telemetry_.spans().SaveState();
+  TlvWriter w;
+  for (std::uint64_t word : state.rng_state) w.PutU64(kTagTelRngWord, word);
+  w.PutU64(kTagTelLastSpanId, state.last_span_id);
+  w.PutU64(kTagTelTracesStarted, state.traces_started);
+  w.PutU64(kTagTelSpansRecorded, state.spans_recorded);
+  w.PutU64(kTagTelSpansDropped, state.spans_dropped);
+  for (const telemetry::SpanRecord& span : state.spans) {
+    TlvWriter inner;
+    inner.PutU64(kTagSpanTraceId, span.trace_id);
+    inner.PutU64(kTagSpanId, span.span_id);
+    inner.PutU64(kTagSpanParentId, span.parent_span_id);
+    inner.PutU64(kTagSpanShip, span.ship);
+    inner.PutString(kTagSpanComponent, span.component);
+    inner.PutString(kTagSpanName, span.name);
+    inner.PutU64(kTagSpanStart, span.start);
+    inner.PutU64(kTagSpanEnd, span.end);
+    w.PutNested(kTagTelSpan, inner.Finish());
+  }
+  return w.Finish();
+}
+
+Status TelemetryAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  telemetry::SpanCollector::RawState state;
+  std::size_t rng_words = 0;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    switch (rec->tag) {
+      case kTagTelRngWord:
+        if (rng_words >= state.rng_state.size()) {
+          return InvalidArgument("telemetry section has extra rng words");
+        }
+        state.rng_state[rng_words++] = rec->AsU64();
+        break;
+      case kTagTelLastSpanId:
+        state.last_span_id = rec->AsU64();
+        break;
+      case kTagTelTracesStarted:
+        state.traces_started = rec->AsU64();
+        break;
+      case kTagTelSpansRecorded:
+        state.spans_recorded = rec->AsU64();
+        break;
+      case kTagTelSpansDropped:
+        state.spans_dropped = rec->AsU64();
+        break;
+      case kTagTelSpan: {
+        TlvReader inner(rec->payload);
+        telemetry::SpanRecord span;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          switch (f->tag) {
+            case kTagSpanTraceId: span.trace_id = f->AsU64(); break;
+            case kTagSpanId: span.span_id = f->AsU64(); break;
+            case kTagSpanParentId: span.parent_span_id = f->AsU64(); break;
+            case kTagSpanShip: span.ship = f->AsU64(); break;
+            case kTagSpanComponent: span.component = f->AsString(); break;
+            case kTagSpanName: span.name = f->AsString(); break;
+            case kTagSpanStart: span.start = f->AsU64(); break;
+            case kTagSpanEnd: span.end = f->AsU64(); break;
+            default: break;  // forward compatibility
+          }
+        }
+        state.spans.push_back(std::move(span));
+        break;
+      }
+      default:
+        break;  // forward compatibility
+    }
+  }
+  if (rng_words != state.rng_state.size()) {
+    return InvalidArgument("telemetry section has " +
+                           std::to_string(rng_words) + " rng words, want " +
+                           std::to_string(state.rng_state.size()));
+  }
+  telemetry_.spans().RestoreState(std::move(state));
+  return OkStatus();
+}
+
 }  // namespace viator::genesis

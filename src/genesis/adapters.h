@@ -16,6 +16,7 @@
 #include "net/mobility.h"
 #include "services/caching.h"
 #include "services/routing.h"
+#include "telemetry/telemetry.h"
 
 namespace viator::genesis {
 
@@ -84,6 +85,26 @@ class CachingServiceAdapter : public Snapshotable {
 
  private:
   services::CachingService& cache_;
+  std::uint32_t id_;
+};
+
+/// Wandering Observatory span collector: id RNG stream, id/drop counters and
+/// every retained span. Profiler wall-clock data is intentionally excluded
+/// (host measurements, not simulated state), so traced runs snapshot
+/// bit-identically whether or not profiling was on.
+class TelemetryAdapter : public Snapshotable {
+ public:
+  explicit TelemetryAdapter(telemetry::Telemetry& telemetry,
+                            std::uint32_t id = kExtraSectionBase + 4)
+      : telemetry_(telemetry), id_(id) {}
+
+  std::uint32_t section_id() const override { return id_; }
+  std::string section_name() const override { return "telemetry"; }
+  std::vector<std::byte> Save() const override;
+  Status Load(std::span<const std::byte> payload) override;
+
+ private:
+  telemetry::Telemetry& telemetry_;
   std::uint32_t id_;
 };
 

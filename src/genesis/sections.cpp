@@ -116,6 +116,11 @@ constexpr TlvTag kTagHistMax = 0x08;
 constexpr TlvTag kTagHistZeros = 0x09;
 constexpr TlvTag kTagHistBucket = 0x0A;
 constexpr TlvTag kTagSample = 0x0B;
+// Added with fractional histogram buckets and bounded series; absent tags
+// read back as the legacy defaults, so old snapshots stay loadable.
+constexpr TlvTag kTagSeriesStride = 0x0C;
+constexpr TlvTag kTagSeriesTicks = 0x0D;
+constexpr TlvTag kTagHistOrigin = 0x0E;
 constexpr TlvTag kTagSampleTime = 0x01;
 constexpr TlvTag kTagSampleValue = 0x02;
 }  // namespace
@@ -144,6 +149,9 @@ std::vector<std::byte> SaveStats(const sim::StatsRegistry& stats) {
     inner.PutDouble(kTagHistMin, raw.min);
     inner.PutDouble(kTagHistMax, raw.max);
     inner.PutU64(kTagHistZeros, raw.zeros);
+    inner.PutU64(kTagHistOrigin,
+                 static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(raw.bucket_origin)));
     for (std::uint64_t bucket : raw.buckets) {
       inner.PutU64(kTagHistBucket, bucket);
     }
@@ -152,6 +160,8 @@ std::vector<std::byte> SaveStats(const sim::StatsRegistry& stats) {
   for (const auto& [name, series] : stats.series()) {
     TlvWriter inner;
     inner.PutString(kTagName, name);
+    inner.PutU64(kTagSeriesStride, series.stride());
+    inner.PutU64(kTagSeriesTicks, series.ticks());
     for (const auto& sample : series.samples()) {
       TlvWriter sw;
       sw.PutU64(kTagSampleTime, sample.time);
@@ -214,6 +224,10 @@ Status LoadStats(std::span<const std::byte> payload,
             case kTagHistMin: raw.min = f->AsDouble(); break;
             case kTagHistMax: raw.max = f->AsDouble(); break;
             case kTagHistZeros: raw.zeros = f->AsU64(); break;
+            case kTagHistOrigin:
+              raw.bucket_origin = static_cast<std::int32_t>(
+                  static_cast<std::int64_t>(f->AsU64()));
+              break;
             case kTagHistBucket: raw.buckets.push_back(f->AsU64()); break;
             default: break;
           }
@@ -225,10 +239,18 @@ Status LoadStats(std::span<const std::byte> payload,
       case kTagSeries: {
         std::string name;
         std::vector<sim::TimeSeries::Sample> samples;
+        std::uint64_t stride = 0;  // 0 = legacy payload without the tag
+        std::uint64_t ticks = 0;
+        bool has_ticks = false;
         while (inner.HasNext()) {
           auto f = inner.Next();
           if (!f.ok()) return f.status();
           if (f->tag == kTagName) name = f->AsString();
+          if (f->tag == kTagSeriesStride) stride = f->AsU64();
+          if (f->tag == kTagSeriesTicks) {
+            ticks = f->AsU64();
+            has_ticks = true;
+          }
           if (f->tag == kTagSample) {
             TlvReader sr(f->payload);
             sim::TimeSeries::Sample sample{0, 0.0};
@@ -242,11 +264,9 @@ Status LoadStats(std::span<const std::byte> payload,
           }
         }
         if (name.empty()) return BadPayload("unnamed time series");
-        auto& series = stats.GetTimeSeries(name);
-        series.Clear();
-        for (const auto& sample : samples) {
-          series.Record(sample.time, sample.value);
-        }
+        if (!has_ticks) ticks = samples.size();  // legacy: one tick per kept
+        stats.GetTimeSeries(name).RestoreState(
+            std::move(samples), stride == 0 ? 1 : stride, ticks);
         break;
       }
       default:

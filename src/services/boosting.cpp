@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 FecBooster::FecBooster(wli::WanderingNetwork& network, const Config& config)
@@ -52,6 +54,8 @@ void FecBooster::OnEgress(wli::Ship& ship, const wli::Shuttle& shuttle) {
   const auto index = static_cast<std::uint32_t>(shuttle.payload[2]);
   const std::int64_t word = shuttle.payload[3];
 
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace,
+                            config_.egress, "svc.boosting", "fec_egress");
   EgressBlock& block = egress_blocks_[{flow, block_id}];
   if (index == config_.block_size) {
     block.has_parity = true;
@@ -60,9 +64,10 @@ void FecBooster::OnEgress(wli::Ship& ship, const wli::Shuttle& shuttle) {
     // Data is transparent: forward immediately; parity exists only to
     // regenerate a missing shuttle.
     ++forwarded_;
-    (void)ship.SendShuttle(wli::Shuttle::Data(config_.egress,
-                                              config_.final_destination,
-                                              {word}, flow));
+    wli::Shuttle onward = wli::Shuttle::Data(
+        config_.egress, config_.final_destination, {word}, flow);
+    onward.trace = span.context();
+    (void)ship.SendShuttle(std::move(onward));
   }
 
   // Exactly one data shuttle missing and the parity present: rebuild it.
@@ -127,7 +132,8 @@ void ArqBooster::Transmit(std::uint64_t flow, std::uint64_t seq) {
 
 void ArqBooster::ArmTimer(std::uint64_t flow, std::uint64_t seq) {
   network_.simulator().ScheduleAfter(
-      config_.retransmit_timeout, [this, flow, seq] {
+      config_.retransmit_timeout,
+      [this, flow, seq] {
         const auto it = pending_.find({flow, seq});
         if (it == pending_.end() || it->second.acked) return;
         if (it->second.attempts > config_.max_retries) {
@@ -137,7 +143,8 @@ void ArqBooster::ArmTimer(std::uint64_t flow, std::uint64_t seq) {
         }
         ++retransmissions_;
         Transmit(flow, seq);
-      });
+      },
+      "svc.boosting");
 }
 
 Status ArqBooster::SendData(std::uint64_t flow, std::int64_t word) {
@@ -154,14 +161,20 @@ void ArqBooster::OnEgress(wli::Ship& ship, const wli::Shuttle& shuttle) {
   if (shuttle.payload.size() != 3 || shuttle.payload[0] != kArqData) return;
   const std::uint64_t flow = shuttle.header.flow_id;
   const auto seq = static_cast<std::uint64_t>(shuttle.payload[1]);
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace,
+                            config_.egress, "svc.boosting", "arq_egress");
   // ACK every copy (the ACK itself may be lost); forward only once.
-  (void)ship.SendShuttle(wli::Shuttle::Data(
+  wli::Shuttle ack = wli::Shuttle::Data(
       config_.egress, config_.ingress,
-      {kArqAck, static_cast<std::int64_t>(seq)}, flow));
+      {kArqAck, static_cast<std::int64_t>(seq)}, flow);
+  ack.trace = span.context();
+  (void)ship.SendShuttle(std::move(ack));
   if (egress_seen_.insert({flow, seq}).second) {
-    (void)ship.SendShuttle(wli::Shuttle::Data(config_.egress,
-                                              config_.final_destination,
-                                              {shuttle.payload[2]}, flow));
+    wli::Shuttle onward = wli::Shuttle::Data(
+        config_.egress, config_.final_destination, {shuttle.payload[2]},
+        flow);
+    onward.trace = span.context();
+    (void)ship.SendShuttle(std::move(onward));
   }
 }
 
@@ -210,14 +223,17 @@ Status CompressionBooster::SendData(std::uint64_t flow,
 void CompressionBooster::OnEgress(wli::Ship& ship,
                                   const wli::Shuttle& shuttle) {
   if (shuttle.payload.size() < 2 || shuttle.payload[0] != kZipMarker) return;
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace,
+                            config_.egress, "svc.boosting", "unzip");
   const auto n = static_cast<std::size_t>(shuttle.payload[1]);
   std::vector<std::int64_t> expanded(shuttle.payload.begin() + 2,
                                      shuttle.payload.end());
   expanded.resize(n, 0);
-  (void)ship.SendShuttle(wli::Shuttle::Data(config_.egress,
-                                            config_.final_destination,
-                                            std::move(expanded),
-                                            shuttle.header.flow_id));
+  wli::Shuttle onward = wli::Shuttle::Data(
+      config_.egress, config_.final_destination, std::move(expanded),
+      shuttle.header.flow_id);
+  onward.trace = span.context();
+  (void)ship.SendShuttle(std::move(onward));
 }
 
 }  // namespace viator::services

@@ -1,5 +1,7 @@
 #include "services/caching.h"
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 ContentOrigin::ContentOrigin(wli::WanderingNetwork& network, net::NodeId node,
@@ -33,6 +35,8 @@ void ContentOrigin::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   const auto content_id = static_cast<std::uint64_t>(shuttle.payload[1]);
   ++requests_served_;
   network_.demand().Record(node_, node::FirstLevelRole::kCaching, 1.0);
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                            "svc.origin", "serve");
 
   // If the GET came via a cache, the requester travels in the flow id so the
   // cache can both store and forward (PUT). Direct GETs get DATA back.
@@ -46,9 +50,10 @@ void ContentOrigin::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   }
   const auto body = ObjectBody(content_id, object_words_);
   payload.insert(payload.end(), body.begin(), body.end());
-  (void)ship.SendShuttle(wli::Shuttle::Data(node_, reply_to,
-                                            std::move(payload),
-                                            shuttle.header.flow_id));
+  wli::Shuttle reply = wli::Shuttle::Data(node_, reply_to, std::move(payload),
+                                          shuttle.header.flow_id);
+  reply.trace = span.context();
+  (void)ship.SendShuttle(std::move(reply));
 }
 
 CachingService::CachingService(wli::WanderingNetwork& network,
@@ -123,6 +128,8 @@ void CachingService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   network_.demand().Record(node_, node::FirstLevelRole::kCaching, 1.0);
 
   if (op == kCacheOpGet && shuttle.payload.size() >= 2) {
+    telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                              "svc.caching", "get");
     const auto content_id = static_cast<std::uint64_t>(shuttle.payload[1]);
     const net::NodeId requester = shuttle.header.source;
     auto it = objects_.find(content_id);
@@ -135,25 +142,30 @@ void CachingService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
                                            shuttle.payload[1]};
       payload.insert(payload.end(), it->second.first.begin(),
                      it->second.first.end());
-      (void)ship.SendShuttle(wli::Shuttle::Data(node_, requester,
-                                                std::move(payload),
-                                                shuttle.header.flow_id));
+      wli::Shuttle reply = wli::Shuttle::Data(
+          node_, requester, std::move(payload), shuttle.header.flow_id);
+      reply.trace = span.context();
+      (void)ship.SendShuttle(std::move(reply));
       return;
     }
     ++misses_;
     auto& waiters = pending_[content_id];
     waiters.push_back(requester);
     if (waiters.size() == 1) {  // first miss triggers the origin fetch
-      (void)ship.SendShuttle(wli::Shuttle::Data(
+      wli::Shuttle fetch = wli::Shuttle::Data(
           node_, origin_,
           {kCacheOpGet, shuttle.payload[1],
            static_cast<std::int64_t>(requester)},
-          shuttle.header.flow_id));
+          shuttle.header.flow_id);
+      fetch.trace = span.context();
+      (void)ship.SendShuttle(std::move(fetch));
     }
     return;
   }
 
   if (op == kCacheOpPut && shuttle.payload.size() >= 3) {
+    telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                              "svc.caching", "put");
     const auto content_id = static_cast<std::uint64_t>(shuttle.payload[1]);
     std::vector<std::int64_t> body(shuttle.payload.begin() + 3,
                                    shuttle.payload.end());
@@ -164,9 +176,10 @@ void CachingService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
         std::vector<std::int64_t> payload = {kCacheOpData,
                                              shuttle.payload[1]};
         payload.insert(payload.end(), body.begin(), body.end());
-        (void)ship.SendShuttle(wli::Shuttle::Data(node_, requester,
-                                                  std::move(payload),
-                                                  shuttle.header.flow_id));
+        wli::Shuttle reply = wli::Shuttle::Data(
+            node_, requester, std::move(payload), shuttle.header.flow_id);
+        reply.trace = span.context();
+        (void)ship.SendShuttle(std::move(reply));
       }
       pending_.erase(waiters);
     }

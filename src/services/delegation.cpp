@@ -1,5 +1,7 @@
 #include "services/delegation.h"
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 NomadicDelegation::NomadicDelegation(wli::WanderingNetwork& network,
@@ -62,10 +64,13 @@ void NomadicDelegation::OnRequest(wli::Ship& ship,
   }
   ++requests_answered_;
   network_.demand().Record(ship.id(), node::FirstLevelRole::kDelegation, 1.0);
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, ship.id(),
+                            "svc.delegation", "answer");
   // Answer back to the requester with the request id echoed.
   wli::Shuttle reply = wli::Shuttle::Data(
       ship.id(), shuttle.header.source,
       {kDelegationReply, shuttle.payload[1]}, shuttle.header.flow_id);
+  reply.trace = span.context();
   (void)ship.SendShuttle(std::move(reply));
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 FissionService::FissionService(wli::WanderingNetwork& network,
@@ -44,12 +46,15 @@ void FissionService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   if (it == groups_.end()) return;
   network_.demand().Record(node_, node::FirstLevelRole::kFission,
                            static_cast<double>(it->second.size()));
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                            "svc.fission", "multicast");
   std::uint64_t branch = 0;
   for (net::NodeId subscriber : it->second) {
     wli::Shuttle copy = shuttle;
     copy.header.source = node_;
     copy.header.destination = subscriber;
     copy.header.ttl = 64;
+    copy.trace = span.context();
     ++duplicated_;
     network_.feedback().Publish(wli::FeedbackSignal{
         wli::FeedbackDimension::kPerMulticastBranch, node_, branch++, 1.0,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 FusionService::FusionService(wli::WanderingNetwork& network, net::NodeId node,
@@ -36,12 +38,16 @@ void FusionService::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
   }
   ++flow.seen;
   network_.demand().Record(node_, node::FirstLevelRole::kFusion, 1.0);
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                            "svc.fusion", "absorb");
   if (flow.seen < config_.window) return;
 
-  // Emit one aggregate for the whole window.
+  // Emit one aggregate for the whole window (causally attributed to the
+  // shuttle that completed it).
   wli::Shuttle aggregate = wli::Shuttle::Data(
       node_, config_.sink, {flow.count, flow.sum, flow.min, flow.max},
       shuttle.header.flow_id);
+  aggregate.trace = span.context();
   bytes_out_ += aggregate.WireSize();
   ++shuttles_out_;
   flow = FlowState{};

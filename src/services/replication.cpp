@@ -1,5 +1,7 @@
 #include "services/replication.h"
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 ForwardAndCopy::ForwardAndCopy(wli::WanderingNetwork& network,
@@ -29,13 +31,19 @@ void ForwardAndCopy::OnShuttle(wli::Ship& ship, const wli::Shuttle& shuttle) {
                                  shuttle.payload.end());
   const bool matches = config_.flow_filter == 0 ||
                        shuttle.header.flow_id == config_.flow_filter;
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, node_,
+                            "svc.replication", "tee");
   ++forwarded_;
-  (void)ship.SendShuttle(
-      wli::Shuttle::Data(node_, final_dst, body, shuttle.header.flow_id));
+  wli::Shuttle onward =
+      wli::Shuttle::Data(node_, final_dst, body, shuttle.header.flow_id);
+  onward.trace = span.context();
+  (void)ship.SendShuttle(std::move(onward));
   if (matches && config_.monitor != net::kInvalidNode) {
     ++copied_;
-    (void)ship.SendShuttle(wli::Shuttle::Data(node_, config_.monitor, body,
-                                              shuttle.header.flow_id));
+    wli::Shuttle copy = wli::Shuttle::Data(node_, config_.monitor, body,
+                                           shuttle.header.flow_id);
+    copy.trace = span.context();
+    (void)ship.SendShuttle(std::move(copy));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "services/routing.h"
 
+#include "telemetry/telemetry.h"
+
 namespace viator::services {
 
 StaticRouter::StaticRouter(wli::WanderingNetwork& network)
@@ -108,6 +110,8 @@ void DistanceVectorRouter::OnControl(wli::Ship& ship,
                                      const wli::Shuttle& shuttle) {
   if (shuttle.payload.size() < 3 || shuttle.payload[0] != kDvAdvert) return;
   const net::NodeId at = ship.id();
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, at,
+                            "svc.routing", "dv_advert");
   const net::NodeId from = static_cast<net::NodeId>(shuttle.payload[1]);
   const auto count = static_cast<std::size_t>(shuttle.payload[2]);
   if (shuttle.payload.size() < 3 + 2 * count) return;
@@ -130,13 +134,15 @@ void DistanceVectorRouter::OnControl(wli::Ship& ship,
 
 void DistanceVectorRouter::Start(sim::TimePoint until) {
   network_.simulator().ScheduleAfter(
-      config_.advertise_interval, [this, until] {
+      config_.advertise_interval,
+      [this, until] {
         AdvertiseRound();
         if (network_.simulator().now() + config_.advertise_interval <=
             until) {
           Start(until);
         }
-      });
+      },
+      "svc.routing");
 }
 
 Status DistanceVectorRouter::Send(net::NodeId src, net::NodeId dst,
@@ -278,6 +284,8 @@ void AdaptiveAdHocRouter::OnControl(wli::Ship& ship,
   const auto hops = static_cast<std::uint32_t>(shuttle.payload[4]);
   const net::NodeId at = ship.id();
   const net::NodeId prev_hop = shuttle.header.source;
+  telemetry::SpanScope span(network_.telemetry(), shuttle.trace, at,
+                            "svc.routing", type == kRreq ? "rreq" : "rrep");
 
   if (type == kRreq) {
     // Reverse route toward the discovery origin.

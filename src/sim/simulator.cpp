@@ -1,22 +1,26 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <utility>
 
 namespace viator::sim {
 
-EventHandle Simulator::ScheduleAt(TimePoint when, Callback fn) {
+EventHandle Simulator::ScheduleAt(TimePoint when, Callback fn,
+                                  const char* component) {
   Event ev;
   ev.when = when < now_ ? now_ : when;
   ev.seq = next_seq_++;
   ev.fn = std::move(fn);
   ev.alive = std::make_shared<bool>(true);
+  if (observer_ && component != nullptr) component_by_seq_[ev.seq] = component;
   EventHandle handle(ev.alive);
   queue_.push(std::move(ev));
   return handle;
 }
 
-EventHandle Simulator::ScheduleAfter(Duration delay, Callback fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventHandle Simulator::ScheduleAfter(Duration delay, Callback fn,
+                                     const char* component) {
+  return ScheduleAt(now_ + delay, std::move(fn), component);
 }
 
 bool Simulator::Step() {
@@ -25,11 +29,31 @@ bool Simulator::Step() {
     // the ordering fields — the element is popped immediately after.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (!*ev.alive) continue;  // tombstoned by Cancel()
+    if (!*ev.alive) {  // tombstoned by Cancel()
+      if (observer_) component_by_seq_.erase(ev.seq);
+      continue;
+    }
+    const TimePoint prev_now = now_;
     now_ = ev.when;
     *ev.alive = false;  // mark fired so late Cancel() is a no-op
     ++dispatched_;
-    ev.fn();
+    if (observer_) {
+      const char* component = "sim.event";
+      if (auto it = component_by_seq_.find(ev.seq);
+          it != component_by_seq_.end()) {
+        component = it->second;
+        component_by_seq_.erase(it);
+      }
+      const auto wall_start = std::chrono::steady_clock::now();
+      ev.fn();
+      const auto wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count());
+      observer_(component, ev.when, ev.when - prev_now, wall_ns);
+    } else {
+      ev.fn();
+    }
     return true;
   }
   return false;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -49,14 +50,34 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Observes every dispatched event: component label (a static string, or
+  /// "sim.event" for untagged events), its scheduled time, the virtual-time
+  /// gap since the previous dispatch, and the wall-clock nanoseconds the
+  /// callback ran for. Installed by the telemetry profiler; when unset the
+  /// dispatch loop pays only a null check (zero-cost-when-off).
+  using DispatchObserver = std::function<void(
+      const char* component, TimePoint when, Duration virtual_gap,
+      std::uint64_t wall_ns)>;
+
   /// Current virtual time.
   TimePoint now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
-  EventHandle ScheduleAt(TimePoint when, Callback fn);
+  /// `component` must point at storage outliving the event (string literal).
+  EventHandle ScheduleAt(TimePoint when, Callback fn,
+                         const char* component = nullptr);
 
   /// Schedules `fn` after `delay` from now.
-  EventHandle ScheduleAfter(Duration delay, Callback fn);
+  EventHandle ScheduleAfter(Duration delay, Callback fn,
+                            const char* component = nullptr);
+
+  /// Installs (or, with nullptr, removes) the dispatch observer. Component
+  /// labels are only retained for events scheduled while an observer is
+  /// installed; removing the observer drops pending labels.
+  void SetDispatchObserver(DispatchObserver observer) {
+    observer_ = std::move(observer);
+    if (!observer_) component_by_seq_.clear();
+  }
 
   /// Runs events until the queue empties or the clock passes `deadline`.
   /// Returns the number of events dispatched.
@@ -82,6 +103,9 @@ class Simulator {
   Status RestoreClock(TimePoint now, std::uint64_t dispatched_count);
 
  private:
+  // Kept at 64 bytes: the priority queue sifts whole Events, so every extra
+  // member is paid on each push/pop. Attribution labels live in
+  // component_by_seq_ (populated only while an observer is installed).
   struct Event {
     TimePoint when;
     std::uint64_t seq;
@@ -99,6 +123,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  DispatchObserver observer_;
+  std::unordered_map<std::uint64_t, const char*> component_by_seq_;
 };
 
 }  // namespace viator::sim

@@ -2,20 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace viator::sim {
 namespace {
 
-// Bucket index for a positive value: 2 buckets per power of two.
+// Smallest tracked magnitude: the low edge of bucket 0 (half-exponent
+// kBucketOrigin). Anything below it is lumped into the underflow counter.
+constexpr double kMinTracked = 0x1p-32;
+
+// Bucket index for a value >= kMinTracked: 2 buckets per power of two,
+// offset so bucket 0 starts at 2^-32.
 int BucketFor(double v) {
   const double l = std::log2(v);
-  int idx = static_cast<int>(std::floor(l * 2.0));
+  int idx = static_cast<int>(std::floor(l * 2.0)) - Histogram::kBucketOrigin;
   if (idx < 0) idx = 0;
-  if (idx >= 128) idx = 127;
+  if (idx >= 192) idx = 191;
   return idx;
 }
 
-double BucketLow(int idx) { return std::exp2(static_cast<double>(idx) / 2.0); }
+double BucketLow(int idx) {
+  return std::exp2(static_cast<double>(idx + Histogram::kBucketOrigin) / 2.0);
+}
 
 }  // namespace
 
@@ -26,7 +34,7 @@ void Histogram::Record(double value) {
   ++count_;
   sum_ += value;
   sum_sq_ += value * value;
-  if (value < 1.0) {
+  if (value < kMinTracked) {
     ++zeros_;
   } else {
     ++buckets_[BucketFor(value)];
@@ -73,6 +81,7 @@ Histogram::RawState Histogram::SaveState() const {
   state.min = min_;
   state.max = max_;
   state.zeros = zeros_;
+  state.bucket_origin = kBucketOrigin;
   state.buckets.assign(buckets_, buckets_ + kBuckets);
   return state;
 }
@@ -84,10 +93,38 @@ void Histogram::RestoreState(const RawState& state) {
   min_ = state.min;
   max_ = state.max;
   zeros_ = state.zeros;
-  for (int i = 0; i < kBuckets; ++i) {
-    buckets_[i] =
-        i < static_cast<int>(state.buckets.size()) ? state.buckets[i] : 0;
+  // A state saved with a different (e.g. legacy 0) origin shifts into the
+  // current layout; the legacy range [2^0, 2^64) sits entirely inside ours.
+  const int shift = static_cast<int>(state.bucket_origin) - kBucketOrigin;
+  std::fill(buckets_, buckets_ + kBuckets, 0);
+  for (int i = 0; i < static_cast<int>(state.buckets.size()); ++i) {
+    const int j = std::clamp(i + shift, 0, kBuckets - 1);
+    buckets_[j] += state.buckets[i];
   }
+}
+
+void TimeSeries::Record(TimePoint t, double value) {
+  const std::uint64_t tick = ticks_++;
+  if (stride_ > 1 && tick % stride_ != 0) return;
+  samples_.push_back({t, value});
+  if (max_samples_ > 0 && samples_.size() >= max_samples_ &&
+      samples_.size() >= 2) {
+    // Decimate: keep even positions (those are the records whose tick is a
+    // multiple of the doubled stride) and double the stride.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) {
+      samples_[w++] = samples_[r];
+    }
+    samples_.resize(w);
+    stride_ *= 2;
+  }
+}
+
+void TimeSeries::RestoreState(std::vector<Sample> samples, std::uint64_t stride,
+                              std::uint64_t ticks) {
+  samples_ = std::move(samples);
+  stride_ = stride == 0 ? 1 : stride;
+  ticks_ = ticks;
 }
 
 double TimeSeries::Mean() const {
@@ -97,17 +134,48 @@ double TimeSeries::Mean() const {
   return s / static_cast<double>(samples_.size());
 }
 
-std::uint64_t StatsRegistry::CounterValue(const std::string& name) const {
+namespace {
+
+// find-or-emplace with a string_view key: the transparent find never
+// allocates; only first-time registration materializes a std::string.
+template <typename Map>
+auto& GetOrCreate(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), typename Map::mapped_type{}).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Counter& StatsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(counters_, name);
+}
+
+Gauge& StatsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram& StatsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(histograms_, name);
+}
+
+TimeSeries& StatsRegistry::GetTimeSeries(std::string_view name) {
+  return GetOrCreate(series_, name);
+}
+
+std::uint64_t StatsRegistry::CounterValue(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
-const Histogram* StatsRegistry::FindHistogram(const std::string& name) const {
+const Histogram* StatsRegistry::FindHistogram(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
-const TimeSeries* StatsRegistry::FindTimeSeries(const std::string& name) const {
+const TimeSeries* StatsRegistry::FindTimeSeries(std::string_view name) const {
   const auto it = series_.find(name);
   return it == series_.end() ? nullptr : &it->second;
 }

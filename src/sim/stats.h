@@ -3,11 +3,16 @@
 //
 // All experiment tables in bench/ are produced from these objects, so their
 // semantics are deliberately simple and exactly reproducible.
+//
+// Metric naming convention (see docs/OBSERVABILITY.md): dotted lowercase
+// `component.metric_name`, e.g. "wn.shuttles_injected", "ship.consume".
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -38,6 +43,11 @@ class Gauge {
 
 /// Streaming summary of a sample set: count/min/max/mean/stddev plus
 /// approximate quantiles from base-2 log buckets (values must be >= 0).
+///
+/// Buckets cover [2^-32, 2^64) with two buckets per power of two, so
+/// fractional metrics (ratios, utilizations in [0,1)) quantile correctly;
+/// values below 2^-32 (and exact zero) are tracked in a dedicated underflow
+/// counter and quantile as 0.0.
 class Histogram {
  public:
   void Record(double value);
@@ -55,6 +65,12 @@ class Histogram {
 
   /// Exact internal state, for snapshot/restore (genesis). Restoring a saved
   /// state reproduces every accessor bit-for-bit.
+  ///
+  /// `bucket_origin` is the half-exponent of bucket 0 (bucket i spans
+  /// [2^((i+origin)/2), 2^((i+origin+1)/2))). States saved before fractional
+  /// buckets existed carry the legacy origin 0; RestoreState shifts their
+  /// buckets into place, so old genesis snapshots stay loadable (their
+  /// sub-1.0 samples remain in `zeros`, exactly as they were recorded).
   struct RawState {
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -62,13 +78,19 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     std::uint64_t zeros = 0;
+    std::int32_t bucket_origin = 0;  // legacy default; SaveState overwrites
     std::vector<std::uint64_t> buckets;
   };
   RawState SaveState() const;
   void RestoreState(const RawState& state);
 
+  /// Half-exponent of bucket 0: buckets start at 2^(kBucketOrigin/2) = 2^-32.
+  static constexpr std::int32_t kBucketOrigin = -64;
+
  private:
-  static constexpr int kBuckets = 128;  // covers [1, 2^64) with 0.5 steps
+  // 192 half-power-of-two buckets: half-exponents -64..127 cover
+  // [2^-32, 2^64).
+  static constexpr int kBuckets = 192;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
@@ -79,52 +101,87 @@ class Histogram {
 };
 
 /// (time, value) samples for series plots (Figure-1/3/4-style evolution).
+///
+/// Optionally memory-bounded: with a max-sample cap set, the series keeps
+/// every stride-th record and doubles the stride (decimating the retained
+/// samples) whenever the cap is reached. Down-sampling is purely a function
+/// of the record sequence, so capped series stay bit-for-bit deterministic.
 class TimeSeries {
  public:
-  void Record(TimePoint t, double value) { samples_.push_back({t, value}); }
+  void Record(TimePoint t, double value);
   struct Sample {
     TimePoint time;
     double value;
   };
   const std::vector<Sample>& samples() const { return samples_; }
 
+  /// Caps retained samples (0 = unbounded). The cap is configuration, not
+  /// snapshotted state; set it before recording.
+  void set_max_samples(std::size_t cap) { max_samples_ = cap; }
+  std::size_t max_samples() const { return max_samples_; }
+
+  /// Down-sampling position, for snapshot/restore: the series keeps records
+  /// whose tick is a multiple of stride.
+  std::uint64_t stride() const { return stride_; }
+  std::uint64_t ticks() const { return ticks_; }
+
   /// Mean of the recorded values (0 when empty).
   double Mean() const;
 
   /// Drops all samples (snapshot restore replaces the series wholesale).
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    stride_ = 1;
+    ticks_ = 0;
+  }
+
+  /// Replaces samples and down-sampling position verbatim (genesis restore).
+  /// Bypasses Record() so restoring never re-triggers decimation.
+  void RestoreState(std::vector<Sample> samples, std::uint64_t stride,
+                    std::uint64_t ticks);
 
  private:
   std::vector<Sample> samples_;
+  std::size_t max_samples_ = 0;
+  std::uint64_t stride_ = 1;  // keep records with ticks_ % stride_ == 0
+  std::uint64_t ticks_ = 0;   // records offered since construction/Clear
 };
 
 /// Name → metric store. One registry per simulation replica; benches merge
-/// registries across replicas by name.
+/// registries across replicas by name. Lookups take string_views against
+/// heterogeneous-comparator maps, so hot-path reads of existing metrics
+/// never allocate.
 class StatsRegistry {
  public:
-  Counter& GetCounter(const std::string& name) { return counters_[name]; }
-  Gauge& GetGauge(const std::string& name) { return gauges_[name]; }
-  Histogram& GetHistogram(const std::string& name) { return histograms_[name]; }
-  TimeSeries& GetTimeSeries(const std::string& name) { return series_[name]; }
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+  TimeSeries& GetTimeSeries(std::string_view name);
 
   /// Counter value or 0 when absent (read-only accessor for reports).
-  std::uint64_t CounterValue(const std::string& name) const;
+  std::uint64_t CounterValue(std::string_view name) const;
   /// Histogram lookup (nullptr when absent).
-  const Histogram* FindHistogram(const std::string& name) const;
-  const TimeSeries* FindTimeSeries(const std::string& name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+  const TimeSeries* FindTimeSeries(std::string_view name) const;
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
-  const std::map<std::string, TimeSeries>& series() const { return series_; }
+  const std::map<std::string, TimeSeries, std::less<>>& series() const {
+    return series_;
+  }
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, TimeSeries, std::less<>> series_;
 };
 
 /// Mean and sample standard deviation of a vector (used when aggregating a

@@ -1,0 +1,58 @@
+#include "telemetry/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+
+namespace viator::telemetry {
+
+void BenchReport::AddCounters(const sim::StatsRegistry& stats,
+                              std::string_view prefix) {
+  for (const auto& [name, counter] : stats.counters()) {
+    std::string key;
+    if (!prefix.empty()) {
+      key.append(prefix).append(".");
+    }
+    key += name;
+    metrics_[key] = static_cast<double>(counter.value());
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [metric, value] : metrics_) {
+    if (!first) out << ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << "  \"" << metric << "\": " << buf;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool BenchReport::Write() const {
+  std::string path;
+  if (const char* dir = std::getenv("VIATOR_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; open reports
+    path.append(dir).append("/");
+  }
+  path.append("BENCH_").append(name_).append(".json");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_report: cannot write " << path << "\n";
+    return false;
+  }
+  out << ToJson();
+  return out.good();
+}
+
+}  // namespace viator::telemetry

@@ -1,0 +1,45 @@
+// Machine-readable bench output.
+//
+// Every bench_* binary builds one BenchReport, sets its headline metrics
+// (plus any StatsRegistry counters worth tracking) and calls Write(), which
+// drops a flat `BENCH_<name>.json` next to the binary — or into
+// $VIATOR_BENCH_DIR when set — so CI can archive the perf trajectory.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.h"
+
+namespace viator::telemetry {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string_view bench_name) : name_(bench_name) {}
+
+  /// Records one scalar metric (last write wins).
+  void Set(std::string_view metric, double value) {
+    metrics_[std::string(metric)] = value;
+  }
+
+  /// Imports every counter of a registry, prefixed with `prefix.`.
+  void AddCounters(const sim::StatsRegistry& stats,
+                   std::string_view prefix = "");
+
+  /// Flat sorted JSON object {"metric": value, ...}.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into $VIATOR_BENCH_DIR (or the cwd).
+  /// Returns false (after a perror-style message) when the file can't open.
+  bool Write() const;
+
+  const std::string& name() const { return name_; }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> metrics_;
+};
+
+}  // namespace viator::telemetry

@@ -1,0 +1,352 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace viator::telemetry {
+namespace {
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+std::string HexId(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string ShortestDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// --- minimal field scanners for our own fixed-shape output lines ---------
+
+std::optional<std::string> FindStringField(std::string_view line,
+                                           std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + pattern.size();
+  std::string out;
+  while (i < line.size() && line[i] != '"') {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char esc = line[i + 1];
+      i += 2;
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 <= line.size()) {
+            out += static_cast<char>(
+                std::stoul(std::string(line.substr(i, 4)), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += esc;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> FindU64Field(std::string_view line,
+                                          std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + pattern.size();
+  if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+std::optional<double> FindDoubleField(std::string_view line,
+                                      std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::string rest(line.substr(pos + pattern.size()));
+  try {
+    return std::stod(rest);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "viator_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteSpansJsonl(const std::vector<SpanRecord>& spans, std::ostream& out) {
+  for (const SpanRecord& s : spans) {
+    out << "{\"trace\":\"" << HexId(s.trace_id) << "\",\"span\":" << s.span_id
+        << ",\"parent\":" << s.parent_span_id << ",\"ship\":" << s.ship
+        << ",\"component\":" << JsonString(s.component)
+        << ",\"name\":" << JsonString(s.name) << ",\"start\":" << s.start
+        << ",\"end\":" << s.end << "}\n";
+  }
+}
+
+void WriteTraceEventJson(const std::vector<SpanRecord>& spans,
+                         std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out << ",\n";
+    first = false;
+    char ts[48];
+    char dur[48];
+    // trace_event timestamps are microseconds; three decimals keep exact ns.
+    std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                  static_cast<unsigned long long>(s.start / 1000),
+                  static_cast<unsigned long long>(s.start % 1000));
+    const std::uint64_t dur_ns = s.end >= s.start ? s.end - s.start : 0;
+    std::snprintf(dur, sizeof(dur), "%llu.%03llu",
+                  static_cast<unsigned long long>(dur_ns / 1000),
+                  static_cast<unsigned long long>(dur_ns % 1000));
+    out << "{\"name\":" << JsonString(s.name)
+        << ",\"cat\":" << JsonString(s.component)
+        << ",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+        << ",\"pid\":1,\"tid\":" << s.ship << ",\"args\":{\"trace\":\""
+        << HexId(s.trace_id) << "\",\"span\":" << s.span_id
+        << ",\"parent\":" << s.parent_span_id << ",\"ship\":" << s.ship
+        << ",\"component\":" << JsonString(s.component) << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::optional<SpanRecord> ParseSpanLine(std::string_view line) {
+  const auto trace_hex = FindStringField(line, "trace");
+  if (!trace_hex) return std::nullopt;
+  SpanRecord s;
+  try {
+    s.trace_id = std::stoull(*trace_hex, nullptr, 16);
+  } catch (...) {
+    return std::nullopt;
+  }
+  const auto span = FindU64Field(line, "span");
+  const auto name = FindStringField(line, "name");
+  if (!span || !name) return std::nullopt;
+  s.span_id = *span;
+  s.parent_span_id = FindU64Field(line, "parent").value_or(0);
+  s.ship = FindU64Field(line, "ship").value_or(0);
+  s.component = FindStringField(line, "component").value_or("");
+  if (s.component.empty()) s.component = FindStringField(line, "cat").value_or("");
+  s.name = *name;
+  const auto start = FindU64Field(line, "start");
+  const auto end = FindU64Field(line, "end");
+  if (start && end) {
+    s.start = *start;
+    s.end = *end;
+  } else {
+    // trace_event form: microsecond ts/dur back to nanoseconds.
+    const double ts = FindDoubleField(line, "ts").value_or(0.0);
+    const double dur = FindDoubleField(line, "dur").value_or(0.0);
+    s.start = static_cast<sim::TimePoint>(std::llround(ts * 1000.0));
+    s.end = s.start + static_cast<sim::TimePoint>(std::llround(dur * 1000.0));
+  }
+  return s;
+}
+
+std::vector<SpanRecord> ParseSpans(std::istream& in) {
+  std::vector<SpanRecord> spans;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto s = ParseSpanLine(line)) spans.push_back(std::move(*s));
+  }
+  return spans;
+}
+
+std::map<std::uint64_t, std::vector<SpanRecord>> GroupByTrace(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::uint64_t, std::vector<SpanRecord>> by_trace;
+  for (const SpanRecord& s : spans) by_trace[s.trace_id].push_back(s);
+  return by_trace;
+}
+
+bool IsConnectedTree(const std::vector<SpanRecord>& trace_spans) {
+  if (trace_spans.empty()) return false;
+  std::set<std::uint64_t> ids;
+  for (const SpanRecord& s : trace_spans) ids.insert(s.span_id);
+  if (ids.size() != trace_spans.size()) return false;  // duplicate span ids
+  std::size_t roots = 0;
+  for (const SpanRecord& s : trace_spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+    } else if (ids.count(s.parent_span_id) == 0) {
+      return false;  // orphan: parent missing from the export
+    }
+  }
+  return roots == 1;
+}
+
+std::string FormatTraceTree(const std::vector<SpanRecord>& trace_spans) {
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  const SpanRecord* root = nullptr;
+  for (const SpanRecord& s : trace_spans) {
+    children[s.parent_span_id].push_back(&s);
+    if (s.parent_span_id == 0 && root == nullptr) root = &s;
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(), [](const auto* a, const auto* b) {
+      return a->span_id < b->span_id;
+    });
+  }
+  std::ostringstream out;
+  if (!trace_spans.empty()) {
+    out << "trace " << HexId(trace_spans.front().trace_id) << "\n";
+  }
+  std::function<void(const SpanRecord&, int)> walk = [&](const SpanRecord& s,
+                                                         int depth) {
+    for (int i = 0; i < depth; ++i) out << "  ";
+    out << s.component << "/" << s.name << "  span=" << s.span_id
+        << " ship=" << s.ship << " t=[" << s.start << "," << s.end << "]\n";
+    const auto it = children.find(s.span_id);
+    if (it == children.end()) return;
+    for (const SpanRecord* kid : it->second) walk(*kid, depth + 1);
+  };
+  if (root != nullptr) {
+    walk(*root, 1);
+  } else {
+    out << "  (no root span: tree is disconnected)\n";
+  }
+  return out.str();
+}
+
+void WriteMetricsJsonl(const sim::StatsRegistry& stats, std::ostream& out) {
+  for (const auto& [name, counter] : stats.counters()) {
+    out << "{\"kind\":\"counter\",\"name\":" << JsonString(name)
+        << ",\"value\":" << counter.value() << "}\n";
+  }
+  for (const auto& [name, gauge] : stats.gauges()) {
+    out << "{\"kind\":\"gauge\",\"name\":" << JsonString(name)
+        << ",\"value\":" << ShortestDouble(gauge.value()) << "}\n";
+  }
+  for (const auto& [name, hist] : stats.histograms()) {
+    out << "{\"kind\":\"histogram\",\"name\":" << JsonString(name)
+        << ",\"value\":" << ShortestDouble(hist.mean())
+        << ",\"count\":" << hist.count()
+        << ",\"sum\":" << ShortestDouble(hist.sum())
+        << ",\"min\":" << ShortestDouble(hist.min())
+        << ",\"max\":" << ShortestDouble(hist.max())
+        << ",\"p50\":" << ShortestDouble(hist.Quantile(0.5))
+        << ",\"p90\":" << ShortestDouble(hist.Quantile(0.9))
+        << ",\"p99\":" << ShortestDouble(hist.Quantile(0.99)) << "}\n";
+  }
+  for (const auto& [name, series] : stats.series()) {
+    out << "{\"kind\":\"series\",\"name\":" << JsonString(name)
+        << ",\"value\":" << ShortestDouble(series.Mean())
+        << ",\"samples\":" << series.samples().size() << "}\n";
+  }
+}
+
+std::map<std::string, double> ParseMetricsJsonl(std::istream& in) {
+  std::map<std::string, double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto name = FindStringField(line, "name");
+    const auto value = FindDoubleField(line, "value");
+    if (name && value) values[*name] = *value;
+  }
+  return values;
+}
+
+void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out) {
+  for (const auto& [name, counter] : stats.counters()) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n"
+        << pname << " " << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : stats.gauges()) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n"
+        << pname << " " << ShortestDouble(gauge.value()) << "\n";
+  }
+  for (const auto& [name, hist] : stats.histograms()) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out << pname << "{quantile=\"" << FormatDouble(q, 2) << "\"} "
+          << ShortestDouble(hist.Quantile(q)) << "\n";
+    }
+    out << pname << "_sum " << ShortestDouble(hist.sum()) << "\n"
+        << pname << "_count " << hist.count() << "\n";
+  }
+  for (const auto& [name, series] : stats.series()) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n"
+        << pname << " "
+        << ShortestDouble(series.samples().empty()
+                              ? 0.0
+                              : series.samples().back().value)
+        << "\n";
+  }
+}
+
+}  // namespace viator::telemetry

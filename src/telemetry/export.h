@@ -1,0 +1,71 @@
+// Telemetry export and re-import.
+//
+// Writers (formats described in docs/OBSERVABILITY.md):
+//  - spans JSONL: one span object per line, virtual-ns timestamps — the
+//    lossless native format;
+//  - Chrome/Perfetto trace_event JSON: loadable in ui.perfetto.dev or
+//    chrome://tracing; ships become tracks (tid), spans become "X" events,
+//    causal ids ride in args;
+//  - metrics JSONL + Prometheus text exposition for a StatsRegistry.
+//
+// Readers parse both span formats back into SpanRecords (wnscope and the
+// tier-1 tests reconstruct causal trees from exported files), so every
+// writer here has a round-trip check in tests/test_telemetry.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.h"
+#include "telemetry/span.h"
+
+namespace viator::telemetry {
+
+/// One span per line, fixed field order, 16-digit hex trace ids:
+/// {"trace":"...","span":N,"parent":N,"ship":N,"component":"...",
+///  "name":"...","start":N,"end":N}
+void WriteSpansJsonl(const std::vector<SpanRecord>& spans, std::ostream& out);
+
+/// Chrome trace_event JSON ({"displayTimeUnit":"ns","traceEvents":[...]}).
+/// One complete ("ph":"X") event per line; ts/dur are microseconds with ns
+/// precision kept in three decimals, pid is 1, tid is the ship id.
+void WriteTraceEventJson(const std::vector<SpanRecord>& spans,
+                         std::ostream& out);
+
+/// Parses one exported line (either format above) back into a SpanRecord.
+/// Returns nullopt for lines that are not span events (headers, brackets).
+std::optional<SpanRecord> ParseSpanLine(std::string_view line);
+
+/// Parses a whole exported stream (spans JSONL or trace_event JSON).
+std::vector<SpanRecord> ParseSpans(std::istream& in);
+
+/// Groups spans by trace id (id order, deterministic).
+std::map<std::uint64_t, std::vector<SpanRecord>> GroupByTrace(
+    const std::vector<SpanRecord>& spans);
+
+/// True when the spans of one trace form a single connected parent-child
+/// tree: exactly one root (parent_span_id 0) and every other span's parent
+/// present in the set.
+bool IsConnectedTree(const std::vector<SpanRecord>& trace_spans);
+
+/// Indented causal-tree rendering of one trace (wnscope `tree`).
+std::string FormatTraceTree(const std::vector<SpanRecord>& trace_spans);
+
+/// One metric per line; every line carries a scalar "value" (counter count,
+/// gauge level, histogram/series mean) so consumers can diff uniformly, and
+/// histogram lines add count/sum/min/max/quantiles.
+void WriteMetricsJsonl(const sim::StatsRegistry& stats, std::ostream& out);
+
+/// Metric lines parsed back as name → scalar value (wnscope `diff`).
+std::map<std::string, double> ParseMetricsJsonl(std::istream& in);
+
+/// Prometheus text exposition: names are sanitized ('.' → '_') and prefixed
+/// "viator_"; histograms export as summaries with quantile labels.
+void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out);
+
+}  // namespace viator::telemetry

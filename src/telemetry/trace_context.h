@@ -1,0 +1,29 @@
+// Causal trace context carried by every Shuttle.
+//
+// Kept in its own tiny header so core/shuttle.h can embed a TraceContext
+// without pulling in the rest of the telemetry subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace viator::telemetry {
+
+/// Identifies one capsule journey (trace) and the position within its causal
+/// tree (span / parent span). trace_id 0 means "untraced": all telemetry
+/// code treats such contexts as inert, so shuttles created while tracing is
+/// disabled cost nothing.
+///
+/// TraceContext is metadata about a shuttle, not part of it: it is excluded
+/// from Shuttle::WireSize(), so enabling tracing never changes transport
+/// behavior (sizes, fragmentation, budgets) of a run.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+}  // namespace viator::telemetry

@@ -31,8 +31,9 @@ struct Replica {
   wli::WnConfig config;
   std::unique_ptr<wli::WanderingNetwork> network;
 
-  explicit Replica(Mode mode = Mode::kPopulated) {
+  explicit Replica(Mode mode = Mode::kPopulated, bool tracing = false) {
     if (mode == Mode::kPopulated) topology = net::MakeGrid(3, 3);
+    config.telemetry.enable_tracing = tracing;
     network = std::make_unique<wli::WanderingNetwork>(simulator, topology,
                                                       config, kSeed);
     if (mode == Mode::kPopulated) network->PopulateAllNodes();
@@ -114,6 +115,58 @@ TEST(GenesisResume, SnapshotRestoreContinuesBitIdentically) {
         << "section " << genesis::SectionName(ref_parsed->sections[i].id)
         << " diverged after resume";
   }
+}
+
+TEST(GenesisResume, TracedRunRestoresBitIdentically) {
+  // Same deterministic-resume property, with capsule tracing live: the span
+  // collector (id RNG, counters, every retained span) rides in the extras
+  // region via TelemetryAdapter, and a restored run keeps issuing the exact
+  // trace ids the uninterrupted run would have issued.
+  Replica ref(Replica::Mode::kPopulated, /*tracing=*/true);
+  Drive(ref, 0, 48);
+  Drive(ref, 48, 96);
+
+  Replica first(Replica::Mode::kPopulated, /*tracing=*/true);
+  Drive(first, 0, 48);
+  genesis::TelemetryAdapter source_adapter(first.network->telemetry());
+  genesis::GenesisManager source(*first.network);
+  ASSERT_TRUE(source.RegisterExtra(source_adapter).ok());
+  auto snapshot = source.CaptureFull();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  // Fresh replica with tracing enabled but a *different* effective id seed
+  // history (nothing recorded yet): the restore must overwrite all of it.
+  Replica resumed(Replica::Mode::kFresh, /*tracing=*/true);
+  genesis::TelemetryAdapter resumed_adapter(resumed.network->telemetry());
+  genesis::GenesisManager target(*resumed.network);
+  ASSERT_TRUE(target.RegisterExtra(resumed_adapter).ok());
+  ASSERT_TRUE(target.RestoreFull(*snapshot).ok());
+  Drive(resumed, 48, 96);
+
+  // Span-for-span identical telemetry, including ids drawn after the resume.
+  const auto& ref_spans = ref.network->telemetry().spans();
+  const auto& res_spans = resumed.network->telemetry().spans();
+  EXPECT_EQ(res_spans.traces_started(), ref_spans.traces_started());
+  EXPECT_EQ(res_spans.spans_recorded(), ref_spans.spans_recorded());
+  ASSERT_EQ(res_spans.spans().size(), ref_spans.spans().size());
+  for (std::size_t i = 0; i < ref_spans.spans().size(); ++i) {
+    const auto& a = ref_spans.spans()[i];
+    const auto& b = res_spans.spans()[i];
+    EXPECT_EQ(b.trace_id, a.trace_id) << "span " << i;
+    EXPECT_EQ(b.span_id, a.span_id);
+    EXPECT_EQ(b.parent_span_id, a.parent_span_id);
+    EXPECT_EQ(b.ship, a.ship);
+    EXPECT_EQ(b.component, a.component);
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.start, a.start);
+    EXPECT_EQ(b.end, a.end);
+  }
+
+  // The telemetry sections of both end states serialize byte-identically.
+  genesis::TelemetryAdapter ref_adapter(ref.network->telemetry());
+  EXPECT_EQ(resumed_adapter.Save(), ref_adapter.Save());
+  EXPECT_EQ(TraceJsonl(resumed), TraceJsonl(ref));
+  EXPECT_EQ(resumed.simulator.now(), ref.simulator.now());
 }
 
 TEST(GenesisResume, RestoredCountersAndStateMatchSource) {

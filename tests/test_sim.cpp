@@ -1,6 +1,7 @@
 // Tests for the discrete-event kernel, statistics and the replica runner.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "base/rng.h"
@@ -179,12 +180,115 @@ TEST(Stats, HistogramNegativeClampsToZero) {
   EXPECT_EQ(h.min(), 0.0);
 }
 
+TEST(Stats, HistogramFractionalSamplesQuantileDistinctly) {
+  // Ratios in (0,1) must land in real buckets, not collapse into the
+  // underflow counter: quantiles of well-separated fractions stay separated.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.01);
+  for (int i = 0; i < 100; ++i) h.Record(0.5);
+  const double p25 = h.Quantile(0.25);
+  const double p75 = h.Quantile(0.75);
+  EXPECT_GT(p25, 0.0);
+  EXPECT_LT(p25, 0.1);
+  EXPECT_GT(p75, 0.25);
+  EXPECT_LT(p75, 1.0);
+}
+
+TEST(Stats, HistogramTinyValuesUnderflowToZeroQuantile) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(1e-12);  // below 2^-32
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST(Stats, HistogramStateRoundTripIsExact) {
+  Histogram h;
+  for (double v : {0.001, 0.37, 1.0, 42.0, 1e9}) h.Record(v);
+  const auto state = h.SaveState();
+  EXPECT_EQ(state.bucket_origin, Histogram::kBucketOrigin);
+  Histogram restored;
+  restored.RestoreState(state);
+  EXPECT_EQ(restored.count(), h.count());
+  EXPECT_DOUBLE_EQ(restored.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(restored.stddev(), h.stddev());
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(restored.Quantile(p), h.Quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(Stats, HistogramLegacyStateShiftsIntoNewBuckets) {
+  // A pre-fractional-bucket snapshot carries bucket_origin 0: its bucket i
+  // covered [2^(i/2), 2^((i+1)/2)). Restoring must shift those counts so
+  // quantiles keep reporting the same magnitudes.
+  Histogram reference;
+  for (int i = 0; i < 64; ++i) reference.Record(16.0);
+  Histogram::RawState legacy = reference.SaveState();
+  // Rewrite the state the way an old writer laid it out: origin 0, bucket
+  // index = floor(2·log2(v)).
+  std::vector<std::uint64_t> old_buckets(legacy.buckets.size(), 0);
+  old_buckets[8] = 64;  // floor(2·log2(16)) = 8
+  legacy.buckets = old_buckets;
+  legacy.bucket_origin = 0;
+  Histogram restored;
+  restored.RestoreState(legacy);
+  EXPECT_EQ(restored.count(), reference.count());
+  EXPECT_DOUBLE_EQ(restored.Quantile(0.5), reference.Quantile(0.5));
+}
+
 TEST(Stats, TimeSeriesMean) {
   TimeSeries ts;
   ts.Record(0, 1.0);
   ts.Record(1, 3.0);
   EXPECT_DOUBLE_EQ(ts.Mean(), 2.0);
   EXPECT_EQ(ts.samples().size(), 2u);
+}
+
+TEST(Stats, TimeSeriesUnboundedByDefault) {
+  TimeSeries ts;
+  for (int i = 0; i < 10000; ++i) ts.Record(i, i);
+  EXPECT_EQ(ts.samples().size(), 10000u);
+  EXPECT_EQ(ts.stride(), 1u);
+}
+
+TEST(Stats, TimeSeriesCapDecimatesDeterministically) {
+  TimeSeries ts;
+  ts.set_max_samples(8);
+  for (int i = 0; i < 1000; ++i) {
+    ts.Record(static_cast<TimePoint>(i), static_cast<double>(i));
+  }
+  EXPECT_LE(ts.samples().size(), 8u);
+  EXPECT_EQ(ts.ticks(), 1000u);
+  // Retained sample k is exactly the record made at tick k·stride, so the
+  // decimated series is a strict subset of the full one.
+  for (std::size_t k = 0; k < ts.samples().size(); ++k) {
+    const auto tick = static_cast<double>(k * ts.stride());
+    EXPECT_DOUBLE_EQ(ts.samples()[k].value, tick);
+  }
+  // Decimation is a pure function of the record sequence.
+  TimeSeries twin;
+  twin.set_max_samples(8);
+  for (int i = 0; i < 1000; ++i) {
+    twin.Record(static_cast<TimePoint>(i), static_cast<double>(i));
+  }
+  ASSERT_EQ(twin.samples().size(), ts.samples().size());
+  EXPECT_EQ(twin.stride(), ts.stride());
+  for (std::size_t k = 0; k < ts.samples().size(); ++k) {
+    EXPECT_EQ(twin.samples()[k].time, ts.samples()[k].time);
+  }
+}
+
+TEST(Stats, TimeSeriesRestoreBypassesDecimation) {
+  TimeSeries ts;
+  ts.set_max_samples(4);
+  std::vector<TimeSeries::Sample> samples;
+  for (int k = 0; k < 6; ++k) {
+    samples.push_back({static_cast<TimePoint>(k * 16), 1.0});
+  }
+  ts.RestoreState(samples, /*stride=*/16, /*ticks=*/96);
+  EXPECT_EQ(ts.samples().size(), 6u);  // verbatim, even past the cap
+  EXPECT_EQ(ts.stride(), 16u);
+  EXPECT_EQ(ts.ticks(), 96u);
 }
 
 TEST(Stats, RegistryFindsByName) {
@@ -195,6 +299,21 @@ TEST(Stats, RegistryFindsByName) {
   EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
   reg.GetHistogram("h").Record(1.0);
   EXPECT_NE(reg.FindHistogram("h"), nullptr);
+}
+
+TEST(Stats, RegistryAcceptsStringViewKeys) {
+  // Hot paths look metrics up with string_views sliced out of larger
+  // buffers; the heterogeneous comparator must find the same entries.
+  StatsRegistry reg;
+  const std::string composite = "wn.shuttles_injected.extra";
+  const std::string_view sliced(composite.data(), 20);  // "wn.shuttles_injected"
+  reg.GetCounter(sliced).Add(2);
+  EXPECT_EQ(reg.CounterValue("wn.shuttles_injected"), 2u);
+  reg.GetCounter(std::string_view("wn.shuttles_injected")).Add(1);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.CounterValue(sliced), 3u);
+  reg.GetTimeSeries(sliced).Record(0, 1.0);
+  EXPECT_NE(reg.FindTimeSeries("wn.shuttles_injected"), nullptr);
 }
 
 TEST(Stats, SummarizeComputesMeanStddev) {
@@ -232,6 +351,42 @@ TEST(Trace, MinLevelSuppresses) {
   sink.Log(0, TraceLevel::kDebug, "a", "quiet");
   sink.Log(0, TraceLevel::kError, "a", "loud");
   EXPECT_EQ(sink.entries().size(), 1u);
+}
+
+TEST(Trace, ZeroCapacityRetainsNothing) {
+  TraceSink sink(0);
+  sink.Log(0, TraceLevel::kError, "a", "dropped");
+  EXPECT_TRUE(sink.entries().empty());
+  sink.RestoreEntry({0, TraceLevel::kError, "a", "also dropped"});
+  EXPECT_TRUE(sink.entries().empty());
+  std::ostringstream out;
+  sink.WriteJsonl(out);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(Trace, RestoreEntryBypassesMinLevelButNotCapacity) {
+  TraceSink sink(2);
+  sink.set_min_level(TraceLevel::kError);
+  // Log() filters below min level; RestoreEntry() must not (a snapshot
+  // records what was retained, regardless of the current filter).
+  sink.Log(0, TraceLevel::kDebug, "a", "filtered");
+  EXPECT_TRUE(sink.entries().empty());
+  sink.RestoreEntry({1, TraceLevel::kDebug, "a", "restored-1"});
+  sink.RestoreEntry({2, TraceLevel::kDebug, "a", "restored-2"});
+  sink.RestoreEntry({3, TraceLevel::kDebug, "a", "restored-3"});
+  ASSERT_EQ(sink.entries().size(), 2u);  // capacity still enforced
+  EXPECT_EQ(sink.entries().front().message, "restored-2");
+  EXPECT_EQ(sink.entries().back().message, "restored-3");
+}
+
+TEST(Trace, WriteJsonlEscapesControlCharacters) {
+  TraceSink sink(4);
+  sink.Log(7, TraceLevel::kWarn, "a\"b", "line1\nline2\ttab\\slash\x01");
+  std::ostringstream out;
+  sink.WriteJsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"t\":7,\"level\":\"WARN\",\"component\":\"a\\\"b\","
+            "\"message\":\"line1\\nline2\\ttab\\\\slash\\u0001\"}\n");
 }
 
 // ---- Replica runner ----

@@ -1,0 +1,256 @@
+// wnscope — Wandering Observatory telemetry tool.
+//
+//   wnscope record  <out-dir>            run a seeded traced scenario, write
+//                                        spans.jsonl, trace.json,
+//                                        metrics.jsonl, metrics.prom,
+//                                        profile.json
+//   wnscope inspect <spans-file>         trace/span/component summary
+//   wnscope filter  <spans-file> <k=v>…  re-emit matching spans as JSONL
+//                                        (component=NAME, ship=N, trace=HEX)
+//   wnscope tree    <spans-file> [HEX]   causal tree(s), one box per trace
+//   wnscope diff    <metrics-a> <metrics-b>  metric-by-metric comparison
+//
+// Span files may be either the native JSONL or the Chrome trace_event JSON
+// that `record` writes; both parse back identically.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "core/wandering_network.h"
+#include "net/topology.h"
+#include "services/caching.h"
+#include "sim/simulator.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace viator;  // tool code; the library never does this
+
+int Usage() {
+  std::cerr << "usage: wnscope record  <out-dir>\n"
+               "       wnscope inspect <spans-file>\n"
+               "       wnscope filter  <spans-file> <key=value>...\n"
+               "       wnscope tree    <spans-file> [trace-hex]\n"
+               "       wnscope diff    <metrics-a> <metrics-b>\n";
+  return 2;
+}
+
+std::string HexTrace(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool LoadSpans(const std::string& path,
+               std::vector<telemetry::SpanRecord>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "wnscope: cannot open " << path << "\n";
+    return false;
+  }
+  out = telemetry::ParseSpans(in);
+  return true;
+}
+
+/// Seeded demo workload mirroring the acceptance scenario: a 3x3 grid with a
+/// content cache at the center and an origin in the far corner; requesters
+/// issue GETs (miss then hit), so traces cross several ships and two distinct
+/// services (svc.caching, svc.origin).
+int RunRecord(const std::string& out_dir) {
+  constexpr std::uint64_t kSeed = 424242;
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeGrid(3, 3);
+  wli::WnConfig config;
+  config.telemetry.enable_tracing = true;
+  config.telemetry.enable_profiling = true;
+  wli::WanderingNetwork network(simulator, topology, config, kSeed);
+  network.PopulateAllNodes();
+
+  services::ContentOrigin origin(network, 8, /*object_words=*/16);
+  services::CachingService cache(network, 4, 8);
+
+  // Two content ids from three requesters: first GET per id misses through
+  // to the origin, later ones hit in the cache.
+  const net::NodeId requesters[] = {0, 2, 6};
+  std::uint64_t flow = 1;
+  for (std::uint64_t content_id = 7; content_id <= 8; ++content_id) {
+    for (net::NodeId requester : requesters) {
+      (void)network.Inject(wli::Shuttle::Data(
+          requester, 4, {services::kCacheOpGet,
+                         static_cast<std::int64_t>(content_id)},
+          flow++));
+      simulator.RunAll();
+    }
+  }
+  network.Pulse();
+  simulator.RunAll();
+
+  const auto& spans = network.telemetry().spans().spans();
+  std::ofstream spans_out(out_dir + "/spans.jsonl");
+  std::ofstream trace_out(out_dir + "/trace.json");
+  std::ofstream metrics_out(out_dir + "/metrics.jsonl");
+  std::ofstream prom_out(out_dir + "/metrics.prom");
+  std::ofstream profile_out(out_dir + "/profile.json");
+  if (!spans_out || !trace_out || !metrics_out || !prom_out || !profile_out) {
+    std::cerr << "wnscope: cannot write into " << out_dir << "\n";
+    return 1;
+  }
+  telemetry::WriteSpansJsonl(spans, spans_out);
+  telemetry::WriteTraceEventJson(spans, trace_out);
+  telemetry::WriteMetricsJsonl(network.stats(), metrics_out);
+  telemetry::WritePrometheusText(network.stats(), prom_out);
+  network.telemetry().profiler().WriteJson(profile_out);
+
+  const auto traces = telemetry::GroupByTrace(spans);
+  std::size_t connected = 0;
+  for (const auto& [id, trace_spans] : traces) {
+    if (telemetry::IsConnectedTree(trace_spans)) ++connected;
+  }
+  std::cout << "recorded " << spans.size() << " spans across "
+            << traces.size() << " traces (" << connected
+            << " connected) into " << out_dir << "\n";
+  return 0;
+}
+
+int RunInspect(const std::string& path) {
+  std::vector<telemetry::SpanRecord> spans;
+  if (!LoadSpans(path, spans)) return 1;
+  const auto traces = telemetry::GroupByTrace(spans);
+
+  TablePrinter per_trace({"trace", "spans", "ships", "services", "tree"});
+  for (const auto& [id, trace_spans] : traces) {
+    std::set<std::uint64_t> ships;
+    std::set<std::string> services;
+    for (const auto& s : trace_spans) {
+      ships.insert(s.ship);
+      services.insert(s.component);
+    }
+    per_trace.AddRow({HexTrace(id), std::to_string(trace_spans.size()),
+                      std::to_string(ships.size()),
+                      std::to_string(services.size()),
+                      telemetry::IsConnectedTree(trace_spans) ? "connected"
+                                                              : "broken"});
+  }
+  std::cout << spans.size() << " spans, " << traces.size() << " traces\n";
+  per_trace.Print(std::cout);
+
+  std::map<std::string, std::uint64_t> by_component;
+  for (const auto& s : spans) ++by_component[s.component + "/" + s.name];
+  TablePrinter per_component({"component/name", "spans"});
+  for (const auto& [key, count] : by_component) {
+    per_component.AddRow({key, std::to_string(count)});
+  }
+  per_component.Print(std::cout);
+  return 0;
+}
+
+int RunFilter(const std::string& path, const std::vector<std::string>& terms) {
+  std::vector<telemetry::SpanRecord> spans;
+  if (!LoadSpans(path, spans)) return 1;
+  for (const std::string& term : terms) {
+    const auto eq = term.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "wnscope: bad filter '" << term << "' (want key=value)\n";
+      return 2;
+    }
+    const std::string key = term.substr(0, eq);
+    const std::string value = term.substr(eq + 1);
+    auto keep = [&](const telemetry::SpanRecord& s) {
+      if (key == "component") return s.component == value;
+      if (key == "ship") return std::to_string(s.ship) == value;
+      if (key == "trace") return HexTrace(s.trace_id) == value;
+      return false;
+    };
+    if (key != "component" && key != "ship" && key != "trace") {
+      std::cerr << "wnscope: unknown filter key '" << key << "'\n";
+      return 2;
+    }
+    std::erase_if(spans, [&](const auto& s) { return !keep(s); });
+  }
+  telemetry::WriteSpansJsonl(spans, std::cout);
+  return 0;
+}
+
+int RunTree(const std::string& path, const std::string& trace_hex) {
+  std::vector<telemetry::SpanRecord> spans;
+  if (!LoadSpans(path, spans)) return 1;
+  const auto traces = telemetry::GroupByTrace(spans);
+  bool found = false;
+  for (const auto& [id, trace_spans] : traces) {
+    if (!trace_hex.empty() && HexTrace(id) != trace_hex) continue;
+    found = true;
+    std::cout << telemetry::FormatTraceTree(trace_spans);
+  }
+  if (!found) {
+    std::cerr << "wnscope: no trace "
+              << (trace_hex.empty() ? "records" : trace_hex) << " in " << path
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int RunDiff(const std::string& path_a, const std::string& path_b) {
+  std::ifstream in_a(path_a), in_b(path_b);
+  if (!in_a || !in_b) {
+    std::cerr << "wnscope: cannot open " << (!in_a ? path_a : path_b) << "\n";
+    return 1;
+  }
+  const auto a = telemetry::ParseMetricsJsonl(in_a);
+  const auto b = telemetry::ParseMetricsJsonl(in_b);
+
+  TablePrinter table({"metric", "a", "b", "delta"});
+  std::size_t differing = 0;
+  std::set<std::string> names;
+  for (const auto& [name, value] : a) names.insert(name);
+  for (const auto& [name, value] : b) names.insert(name);
+  for (const std::string& name : names) {
+    const auto it_a = a.find(name);
+    const auto it_b = b.find(name);
+    const bool in_a_only = it_b == b.end();
+    const bool in_b_only = it_a == a.end();
+    if (!in_a_only && !in_b_only && it_a->second == it_b->second) continue;
+    ++differing;
+    table.AddRow({name,
+                  in_b_only ? "-" : FormatDouble(it_a->second, 6),
+                  in_a_only ? "-" : FormatDouble(it_b->second, 6),
+                  in_a_only || in_b_only
+                      ? "-"
+                      : FormatDouble(it_b->second - it_a->second, 6)});
+  }
+  if (differing == 0) {
+    std::cout << "identical (" << a.size() << " metrics)\n";
+    return 0;
+  }
+  table.Print(std::cout);
+  std::cout << differing << " of " << names.size() << " metrics differ\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record") return RunRecord(argv[2]);
+  if (cmd == "inspect") return RunInspect(argv[2]);
+  if (cmd == "filter") {
+    return RunFilter(argv[2],
+                     std::vector<std::string>(argv + 3, argv + argc));
+  }
+  if (cmd == "tree") return RunTree(argv[2], argc > 3 ? argv[3] : "");
+  if (cmd == "diff") {
+    if (argc < 4) return Usage();
+    return RunDiff(argv[2], argv[3]);
+  }
+  return Usage();
+}
