@@ -34,6 +34,13 @@ Status Ship::SendShuttle(Shuttle shuttle) {
 }
 
 void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
+  // Health probes are measurement, not workload: they are handed to the
+  // probe plane before TTL accounting, per-message feedback, counters or
+  // consumption, so a probed ship behaves exactly like an unprobed one.
+  if (shuttle.header.kind == ShuttleKind::kProbe) [[unlikely]] {
+    network_.HandleProbe(*this, std::move(shuttle), arrived_from);
+    return;
+  }
   if (shuttle.header.destination != id_) {
     // Transit: decrement TTL and forward. Ships "could do some processing"
     // on transit shuttles too; the per-message feedback dimension observes
@@ -139,6 +146,7 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
     case ShuttleKind::kControl:
       if (control_handler_) control_handler_(*this, docked);
       break;
+    case ShuttleKind::kProbe:  // intercepted at the top of Receive()
     case ShuttleKind::kKindCount:
       break;
   }

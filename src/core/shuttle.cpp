@@ -11,12 +11,17 @@ std::string_view ShuttleKindName(ShuttleKind kind) {
     case ShuttleKind::kKnowledge: return "knowledge";
     case ShuttleKind::kJet: return "jet";
     case ShuttleKind::kControl: return "control";
+    case ShuttleKind::kProbe: return "probe";
     case ShuttleKind::kKindCount: break;
   }
   return "?";
 }
 
 std::uint32_t Shuttle::WireSize() const {
+  // Probes are measurement, not traffic: like trace contexts they are
+  // excluded from transmission accounting, so enabling the health plane
+  // never changes serialization timing or queue occupancy for real load.
+  if (header.kind == ShuttleKind::kProbe) return 0;
   return kShuttleHeaderBytes +
          static_cast<std::uint32_t>(code_image.size()) +
          static_cast<std::uint32_t>(payload.size() * 8) +

@@ -28,6 +28,7 @@ enum class ShuttleKind : std::uint8_t {
   kKnowledge,    // carries knowledge quanta (PMP)
   kJet,          // self-replicating management shuttle
   kControl,      // signalling between ships (routing, clustering, feedback)
+  kProbe,        // in-band health probe (self-referential observability)
   kKindCount,
 };
 

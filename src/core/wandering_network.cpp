@@ -101,17 +101,21 @@ Status WanderingNetwork::Inject(Shuttle shuttle) {
 
 Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   const net::NodeId dst = shuttle.header.destination;
+  const bool probe = shuttle.header.kind == ShuttleKind::kProbe;
   if (dst == at) {
     if (ships_[at]) ships_[at]->Receive(std::move(shuttle), at);
     return OkStatus();
   }
-  // SRP community enforcement: excluded ships get no service.
-  if (reputation_.IsExcluded(shuttle.header.source)) {
+  // SRP community enforcement: excluded ships get no service. Probes are
+  // exempt — the health plane must keep observing excluded ships too.
+  if (!probe && reputation_.IsExcluded(shuttle.header.source)) {
     stats_.GetCounter("wn.excluded_dropped").Add();
     return PermissionDenied("source ship excluded from community");
   }
   net::NodeId next = net::kInvalidNode;
-  if (next_hop_chooser_) {
+  // Routing services may keep mutable state (route caches, pending-route
+  // buffers); probes bypass the chooser so measurement never feeds it.
+  if (next_hop_chooser_ && !probe) {
     next = next_hop_chooser_(at, shuttle);
     if (next == at) {
       // Chooser absorbed the shuttle (e.g. buffered pending route
@@ -129,8 +133,18 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   frame.from = at;
   frame.to = next;
   frame.size_bytes = shuttle.WireSize();
+  frame.telemetry = probe;
   frame.payload = std::move(shuttle);
   return fabric_.Send(std::move(frame));
+}
+
+void WanderingNetwork::HandleProbe(Ship& at, Shuttle probe,
+                                   net::NodeId arrived_from) {
+  if (probe_handler_) {
+    probe_handler_(at, std::move(probe), arrived_from);
+    return;
+  }
+  stats_.GetCounter("wn.probe_unhandled").Add();
 }
 
 FunctionId WanderingNetwork::DeployFunction(net::NodeId host,

@@ -123,6 +123,18 @@ class WanderingNetwork {
     next_hop_chooser_ = std::move(chooser);
   }
 
+  /// Health-plane hook: every kProbe shuttle arriving at a ship is handed to
+  /// this handler *before* any workload processing (TTL, feedback, counters),
+  /// so probes observe ships without perturbing them. Unhandled probes are
+  /// dropped and counted.
+  using ProbeHandler = std::function<void(Ship& at, Shuttle probe,
+                                          net::NodeId arrived_from)>;
+  void SetProbeHandler(ProbeHandler handler) {
+    probe_handler_ = std::move(handler);
+  }
+  /// Called by ships on probe arrival (internal plumbing).
+  void HandleProbe(Ship& at, Shuttle probe, net::NodeId arrived_from);
+
   // ---- Function deployment and wandering ----
 
   /// Installs `function` on `host` and registers its placement. Returns the
@@ -249,6 +261,7 @@ class WanderingNetwork {
   std::map<node::SecondLevelClass, OverlayId> class_overlays_;
 
   NextHopChooser next_hop_chooser_;
+  ProbeHandler probe_handler_;
 
   FunctionId next_function_id_ = 1;
   std::uint64_t migrations_executed_ = 0;

@@ -372,4 +372,334 @@ Status TelemetryAdapter::Load(std::span<const std::byte> payload) {
   return OkStatus();
 }
 
+// ---- HealthAdapter ---------------------------------------------------------
+
+namespace {
+// top level
+constexpr TlvTag kTagHpRngWord = 0x01;
+constexpr TlvTag kTagHpNextProbeId = 0x02;
+constexpr TlvTag kTagHpRounds = 0x03;
+constexpr TlvTag kTagHpEmitted = 0x04;
+constexpr TlvTag kTagHpAbsorbed = 0x05;
+constexpr TlvTag kTagHpLost = 0x06;
+constexpr TlvTag kTagHpTtlExpired = 0x07;
+constexpr TlvTag kTagHpPending = 0x08;
+constexpr TlvTag kTagHpShip = 0x09;
+constexpr TlvTag kTagHpHopsObserved = 0x0A;
+constexpr TlvTag kTagHpSpansIngested = 0x0B;
+constexpr TlvTag kTagHpSpanCursor = 0x0C;
+constexpr TlvTag kTagHpEvent = 0x0D;
+constexpr TlvTag kTagHpActive = 0x0E;
+constexpr TlvTag kTagHpPrevCounters = 0x0F;
+// pending
+constexpr TlvTag kTagHpPendId = 0x01;
+constexpr TlvTag kTagHpPendEmitted = 0x02;
+constexpr TlvTag kTagHpPendWaypoint = 0x03;
+// ship
+constexpr TlvTag kTagHsNode = 0x01;
+constexpr TlvTag kTagHsQueueEwma = 0x02;
+constexpr TlvTag kTagHsHopLatEwma = 0x03;
+constexpr TlvTag kTagHsSvcLatEwma = 0x04;
+constexpr TlvTag kTagHsSamples = 0x05;
+constexpr TlvTag kTagHsSvcSamples = 0x06;
+constexpr TlvTag kTagHsExpected = 0x07;
+constexpr TlvTag kTagHsMissed = 0x08;
+constexpr TlvTag kTagHsExecutions = 0x09;
+constexpr TlvTag kTagHsMisses = 0x0A;
+constexpr TlvTag kTagHsHopHist = 0x0B;
+constexpr TlvTag kTagHsQueueHist = 0x0C;
+// histogram raw state
+constexpr TlvTag kTagHhCount = 0x01;
+constexpr TlvTag kTagHhSum = 0x02;
+constexpr TlvTag kTagHhSumSq = 0x03;
+constexpr TlvTag kTagHhMin = 0x04;
+constexpr TlvTag kTagHhMax = 0x05;
+constexpr TlvTag kTagHhZeros = 0x06;
+constexpr TlvTag kTagHhOrigin = 0x07;
+constexpr TlvTag kTagHhBucket = 0x08;
+// event
+constexpr TlvTag kTagHeTime = 0x01;
+constexpr TlvTag kTagHeKind = 0x02;
+constexpr TlvTag kTagHeShip = 0x03;
+constexpr TlvTag kTagHeValue = 0x04;
+constexpr TlvTag kTagHeThreshold = 0x05;
+constexpr TlvTag kTagHeDetail = 0x06;
+// active / prev counters
+constexpr TlvTag kTagHaKind = 0x01;
+constexpr TlvTag kTagHaShip = 0x02;
+constexpr TlvTag kTagHcShip = 0x01;
+constexpr TlvTag kTagHcExecutions = 0x02;
+constexpr TlvTag kTagHcMisses = 0x03;
+
+std::vector<std::byte> SaveHealthHistogram(
+    const sim::Histogram::RawState& raw) {
+  TlvWriter w;
+  w.PutU64(kTagHhCount, raw.count);
+  w.PutDouble(kTagHhSum, raw.sum);
+  w.PutDouble(kTagHhSumSq, raw.sum_sq);
+  w.PutDouble(kTagHhMin, raw.min);
+  w.PutDouble(kTagHhMax, raw.max);
+  w.PutU64(kTagHhZeros, raw.zeros);
+  w.PutU64(kTagHhOrigin, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(raw.bucket_origin)));
+  for (std::uint64_t bucket : raw.buckets) w.PutU64(kTagHhBucket, bucket);
+  return w.Finish();
+}
+
+Status LoadHealthHistogram(std::span<const std::byte> payload,
+                           sim::Histogram::RawState& raw) {
+  TlvReader r(payload);
+  while (r.HasNext()) {
+    auto f = r.Next();
+    if (!f.ok()) return f.status();
+    switch (f->tag) {
+      case kTagHhCount: raw.count = f->AsU64(); break;
+      case kTagHhSum: raw.sum = f->AsDouble(); break;
+      case kTagHhSumSq: raw.sum_sq = f->AsDouble(); break;
+      case kTagHhMin: raw.min = f->AsDouble(); break;
+      case kTagHhMax: raw.max = f->AsDouble(); break;
+      case kTagHhZeros: raw.zeros = f->AsU64(); break;
+      case kTagHhOrigin:
+        raw.bucket_origin = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(f->AsU64()));
+        break;
+      case kTagHhBucket: raw.buckets.push_back(f->AsU64()); break;
+      default: break;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::vector<std::byte> HealthAdapter::Save() const {
+  const health::ProbePlane::RawState state = plane_.SaveState();
+  TlvWriter w;
+  for (std::uint64_t word : state.rng_state) w.PutU64(kTagHpRngWord, word);
+  w.PutU64(kTagHpNextProbeId, state.next_probe_id);
+  w.PutU64(kTagHpRounds, state.rounds);
+  w.PutU64(kTagHpEmitted, state.probes_emitted);
+  w.PutU64(kTagHpAbsorbed, state.probes_absorbed);
+  w.PutU64(kTagHpLost, state.probes_lost);
+  w.PutU64(kTagHpTtlExpired, state.probes_ttl_expired);
+  for (const auto& pending : state.pending) {
+    TlvWriter inner;
+    inner.PutU64(kTagHpPendId, pending.probe_id);
+    inner.PutU64(kTagHpPendEmitted, pending.emitted);
+    for (const net::NodeId w2 : pending.waypoints) {
+      inner.PutU64(kTagHpPendWaypoint, w2);
+    }
+    w.PutNested(kTagHpPending, inner.Finish());
+  }
+  for (const auto& ship : state.registry.ships) {
+    TlvWriter inner;
+    inner.PutU64(kTagHsNode, ship.ship);
+    inner.PutDouble(kTagHsQueueEwma, ship.queue_ewma);
+    inner.PutDouble(kTagHsHopLatEwma, ship.hop_latency_ewma);
+    inner.PutDouble(kTagHsSvcLatEwma, ship.service_latency_ewma);
+    inner.PutU64(kTagHsSamples, ship.samples);
+    inner.PutU64(kTagHsSvcSamples, ship.service_samples);
+    inner.PutU64(kTagHsExpected, ship.expected_visits);
+    inner.PutU64(kTagHsMissed, ship.missed_visits);
+    inner.PutU64(kTagHsExecutions, ship.code_executions);
+    inner.PutU64(kTagHsMisses, ship.code_misses);
+    inner.PutNested(kTagHsHopHist, SaveHealthHistogram(ship.hop_latency_ns));
+    inner.PutNested(kTagHsQueueHist, SaveHealthHistogram(ship.queue_bytes));
+    w.PutNested(kTagHpShip, inner.Finish());
+  }
+  w.PutU64(kTagHpHopsObserved, state.registry.hops_observed);
+  w.PutU64(kTagHpSpansIngested, state.registry.spans_ingested);
+  w.PutU64(kTagHpSpanCursor, state.registry.span_cursor);
+  for (const health::HealthEvent& event : state.detector.events) {
+    TlvWriter inner;
+    inner.PutU64(kTagHeTime, event.time);
+    inner.PutU32(kTagHeKind, static_cast<std::uint32_t>(event.kind));
+    inner.PutU64(kTagHeShip, event.ship);
+    inner.PutDouble(kTagHeValue, event.value);
+    inner.PutDouble(kTagHeThreshold, event.threshold);
+    inner.PutString(kTagHeDetail, event.detail);
+    w.PutNested(kTagHpEvent, inner.Finish());
+  }
+  for (const auto& [kind, ship] : state.detector.active) {
+    TlvWriter inner;
+    inner.PutU32(kTagHaKind, kind);
+    inner.PutU64(kTagHaShip, ship);
+    w.PutNested(kTagHpActive, inner.Finish());
+  }
+  for (const auto& [ship, counters] : state.detector.prev_code_counters) {
+    TlvWriter inner;
+    inner.PutU64(kTagHcShip, ship);
+    inner.PutU64(kTagHcExecutions, counters.first);
+    inner.PutU64(kTagHcMisses, counters.second);
+    w.PutNested(kTagHpPrevCounters, inner.Finish());
+  }
+  return w.Finish();
+}
+
+Status HealthAdapter::Load(std::span<const std::byte> payload) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  health::ProbePlane::RawState state;
+  std::size_t rng_words = 0;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    switch (rec->tag) {
+      case kTagHpRngWord:
+        if (rng_words >= state.rng_state.size()) {
+          return InvalidArgument("health section has extra rng words");
+        }
+        state.rng_state[rng_words++] = rec->AsU64();
+        break;
+      case kTagHpNextProbeId: state.next_probe_id = rec->AsU64(); break;
+      case kTagHpRounds: state.rounds = rec->AsU64(); break;
+      case kTagHpEmitted: state.probes_emitted = rec->AsU64(); break;
+      case kTagHpAbsorbed: state.probes_absorbed = rec->AsU64(); break;
+      case kTagHpLost: state.probes_lost = rec->AsU64(); break;
+      case kTagHpTtlExpired: state.probes_ttl_expired = rec->AsU64(); break;
+      case kTagHpPending: {
+        TlvReader inner(rec->payload);
+        health::ProbePlane::RawState::Pending pending;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          switch (f->tag) {
+            case kTagHpPendId: pending.probe_id = f->AsU64(); break;
+            case kTagHpPendEmitted: pending.emitted = f->AsU64(); break;
+            case kTagHpPendWaypoint:
+              pending.waypoints.push_back(
+                  static_cast<net::NodeId>(f->AsU64()));
+              break;
+            default: break;
+          }
+        }
+        state.pending.push_back(std::move(pending));
+        break;
+      }
+      case kTagHpShip: {
+        TlvReader inner(rec->payload);
+        health::HealthRegistry::RawState::ShipState ship;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          switch (f->tag) {
+            case kTagHsNode:
+              ship.ship = static_cast<net::NodeId>(f->AsU64());
+              break;
+            case kTagHsQueueEwma: ship.queue_ewma = f->AsDouble(); break;
+            case kTagHsHopLatEwma:
+              ship.hop_latency_ewma = f->AsDouble();
+              break;
+            case kTagHsSvcLatEwma:
+              ship.service_latency_ewma = f->AsDouble();
+              break;
+            case kTagHsSamples: ship.samples = f->AsU64(); break;
+            case kTagHsSvcSamples: ship.service_samples = f->AsU64(); break;
+            case kTagHsExpected: ship.expected_visits = f->AsU64(); break;
+            case kTagHsMissed: ship.missed_visits = f->AsU64(); break;
+            case kTagHsExecutions: ship.code_executions = f->AsU64(); break;
+            case kTagHsMisses: ship.code_misses = f->AsU64(); break;
+            case kTagHsHopHist:
+              if (Status s = LoadHealthHistogram(f->payload,
+                                                 ship.hop_latency_ns);
+                  !s.ok()) {
+                return s;
+              }
+              break;
+            case kTagHsQueueHist:
+              if (Status s =
+                      LoadHealthHistogram(f->payload, ship.queue_bytes);
+                  !s.ok()) {
+                return s;
+              }
+              break;
+            default: break;
+          }
+        }
+        state.registry.ships.push_back(std::move(ship));
+        break;
+      }
+      case kTagHpHopsObserved:
+        state.registry.hops_observed = rec->AsU64();
+        break;
+      case kTagHpSpansIngested:
+        state.registry.spans_ingested = rec->AsU64();
+        break;
+      case kTagHpSpanCursor:
+        state.registry.span_cursor = rec->AsU64();
+        break;
+      case kTagHpEvent: {
+        TlvReader inner(rec->payload);
+        health::HealthEvent event;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          switch (f->tag) {
+            case kTagHeTime: event.time = f->AsU64(); break;
+            case kTagHeKind:
+              if (f->AsU32() >= static_cast<std::uint32_t>(
+                                    health::HealthEventKind::kKindCount)) {
+                return InvalidArgument("health event kind out of range");
+              }
+              event.kind = static_cast<health::HealthEventKind>(f->AsU32());
+              break;
+            case kTagHeShip:
+              event.ship = static_cast<net::NodeId>(f->AsU64());
+              break;
+            case kTagHeValue: event.value = f->AsDouble(); break;
+            case kTagHeThreshold: event.threshold = f->AsDouble(); break;
+            case kTagHeDetail: event.detail = f->AsString(); break;
+            default: break;
+          }
+        }
+        state.detector.events.push_back(std::move(event));
+        break;
+      }
+      case kTagHpActive: {
+        TlvReader inner(rec->payload);
+        std::uint8_t kind = 0;
+        net::NodeId ship = net::kInvalidNode;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          if (f->tag == kTagHaKind) {
+            kind = static_cast<std::uint8_t>(f->AsU32());
+          }
+          if (f->tag == kTagHaShip) {
+            ship = static_cast<net::NodeId>(f->AsU64());
+          }
+        }
+        state.detector.active.emplace_back(kind, ship);
+        break;
+      }
+      case kTagHpPrevCounters: {
+        TlvReader inner(rec->payload);
+        net::NodeId ship = net::kInvalidNode;
+        std::uint64_t executions = 0, misses = 0;
+        while (inner.HasNext()) {
+          auto f = inner.Next();
+          if (!f.ok()) return f.status();
+          if (f->tag == kTagHcShip) {
+            ship = static_cast<net::NodeId>(f->AsU64());
+          }
+          if (f->tag == kTagHcExecutions) executions = f->AsU64();
+          if (f->tag == kTagHcMisses) misses = f->AsU64();
+        }
+        state.detector.prev_code_counters.emplace_back(
+            ship, std::make_pair(executions, misses));
+        break;
+      }
+      default:
+        break;  // forward compatibility
+    }
+  }
+  if (rng_words != state.rng_state.size()) {
+    return InvalidArgument("health section has " + std::to_string(rng_words) +
+                           " rng words, want " +
+                           std::to_string(state.rng_state.size()));
+  }
+  plane_.RestoreState(std::move(state));
+  return OkStatus();
+}
+
 }  // namespace viator::genesis

@@ -12,6 +12,7 @@
 
 #include "genesis/snapshot.h"
 #include "genesis/snapshotable.h"
+#include "health/probe.h"
 #include "net/failure.h"
 #include "net/mobility.h"
 #include "services/caching.h"
@@ -105,6 +106,26 @@ class TelemetryAdapter : public Snapshotable {
 
  private:
   telemetry::Telemetry& telemetry_;
+  std::uint32_t id_;
+};
+
+/// Whole health plane: probe RNG/counters, the pending-probe set, per-ship
+/// registry series (EWMAs + histogram sketches) and the anomaly detector's
+/// event log and episode flags. Capture at quiescent points with no probes
+/// in flight (pending_count() == 0), like parked shuttles.
+class HealthAdapter : public Snapshotable {
+ public:
+  explicit HealthAdapter(health::ProbePlane& plane,
+                         std::uint32_t id = kExtraSectionBase + 5)
+      : plane_(plane), id_(id) {}
+
+  std::uint32_t section_id() const override { return id_; }
+  std::string section_name() const override { return "health"; }
+  std::vector<std::byte> Save() const override;
+  Status Load(std::span<const std::byte> payload) override;
+
+ private:
+  health::ProbePlane& plane_;
   std::uint32_t id_;
 };
 

@@ -1,0 +1,294 @@
+#include "health/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viator::health {
+
+std::string_view HealthEventKindName(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kDegradedShip: return "degraded-ship";
+    case HealthEventKind::kStarvedEe: return "starved-ee";
+    case HealthEventKind::kRoutingLoop: return "routing-loop";
+    case HealthEventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+std::optional<HealthEventKind> HealthEventKindFromName(std::string_view name) {
+  for (std::uint8_t k = 0;
+       k < static_cast<std::uint8_t>(HealthEventKind::kKindCount); ++k) {
+    const auto kind = static_cast<HealthEventKind>(k);
+    if (HealthEventKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+// ---- HealthRegistry --------------------------------------------------------
+
+void HealthRegistry::Ewma(double& acc, double sample,
+                          std::uint64_t prior_count) const {
+  // First sample seeds the EWMA exactly; later samples decay toward it.
+  acc = prior_count == 0 ? sample
+                         : acc + config_.ewma_alpha * (sample - acc);
+}
+
+void HealthRegistry::RecordEmission(const std::vector<net::NodeId>& waypoints) {
+  for (const net::NodeId w : waypoints) ++ships_[w].expected_visits;
+}
+
+void HealthRegistry::AbsorbProbe(const ProbeRecord& record,
+                                 sim::StatsRegistry* mirror) {
+  sim::TimePoint prev = record.emitted;
+  for (const HopSample& hop : record.hops) {
+    ShipHealth& ship = ships_[hop.ship];
+    const double hop_latency =
+        static_cast<double>(hop.arrival >= prev ? hop.arrival - prev : 0);
+    const double queue = static_cast<double>(hop.queue_bytes);
+    Ewma(ship.hop_latency_ewma, hop_latency, ship.samples);
+    Ewma(ship.queue_ewma, queue, ship.samples);
+    ship.hop_latency_ns.Record(hop_latency);
+    ship.queue_bytes.Record(queue);
+    if (mirror != nullptr) {
+      mirror->GetHistogram("health.hop_latency_ns").Record(hop_latency);
+      mirror->GetHistogram("health.queue_bytes").Record(queue);
+    }
+    ship.code_executions = hop.code_executions;
+    ship.code_misses = hop.code_misses;
+    ++ship.samples;
+    ++hops_observed_;
+    prev = hop.arrival;
+  }
+}
+
+void HealthRegistry::RecordLoss(const std::vector<net::NodeId>& waypoints) {
+  for (const net::NodeId w : waypoints) ++ships_[w].missed_visits;
+}
+
+void HealthRegistry::IngestSpans(const telemetry::SpanCollector& spans) {
+  const auto& all = spans.spans();
+  if (span_cursor_ > all.size()) span_cursor_ = 0;  // collector was cleared
+  for (; span_cursor_ < all.size(); ++span_cursor_) {
+    const telemetry::SpanRecord& span = all[span_cursor_];
+    ShipHealth& ship = ships_[static_cast<net::NodeId>(span.ship)];
+    const double duration =
+        static_cast<double>(span.end >= span.start ? span.end - span.start : 0);
+    Ewma(ship.service_latency_ewma, duration, ship.service_samples);
+    ++ship.service_samples;
+    ++spans_ingested_;
+  }
+}
+
+double HealthRegistry::ScoreOf(net::NodeId ship) const {
+  const auto it = ships_.find(ship);
+  if (it == ships_.end()) return 1.0;
+  const ShipHealth& s = it->second;
+  const double queue_factor =
+      1.0 / (1.0 + s.queue_ewma / config_.queue_scale_bytes);
+  const double latency_factor =
+      1.0 / (1.0 + s.hop_latency_ewma / config_.latency_scale_ns);
+  const double reach_factor =
+      s.expected_visits == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(s.missed_visits) /
+                      static_cast<double>(s.expected_visits);
+  return queue_factor * latency_factor * std::max(0.0, reach_factor);
+}
+
+void HealthRegistry::PublishScores(sim::StatsRegistry& stats) const {
+  for (const auto& [node, state] : ships_) {
+    stats.GetGauge("health.score." + std::to_string(node)).Set(ScoreOf(node));
+  }
+  stats.GetGauge("health.ships_tracked")
+      .Set(static_cast<double>(ships_.size()));
+}
+
+HealthRegistry::RawState HealthRegistry::SaveState() const {
+  RawState state;
+  state.ships.reserve(ships_.size());
+  for (const auto& [node, s] : ships_) {
+    RawState::ShipState out;
+    out.ship = node;
+    out.queue_ewma = s.queue_ewma;
+    out.hop_latency_ewma = s.hop_latency_ewma;
+    out.service_latency_ewma = s.service_latency_ewma;
+    out.samples = s.samples;
+    out.service_samples = s.service_samples;
+    out.expected_visits = s.expected_visits;
+    out.missed_visits = s.missed_visits;
+    out.code_executions = s.code_executions;
+    out.code_misses = s.code_misses;
+    out.hop_latency_ns = s.hop_latency_ns.SaveState();
+    out.queue_bytes = s.queue_bytes.SaveState();
+    state.ships.push_back(std::move(out));
+  }
+  state.hops_observed = hops_observed_;
+  state.spans_ingested = spans_ingested_;
+  state.span_cursor = span_cursor_;
+  return state;
+}
+
+void HealthRegistry::RestoreState(const RawState& state) {
+  ships_.clear();
+  for (const RawState::ShipState& in : state.ships) {
+    ShipHealth s;
+    s.queue_ewma = in.queue_ewma;
+    s.hop_latency_ewma = in.hop_latency_ewma;
+    s.service_latency_ewma = in.service_latency_ewma;
+    s.samples = in.samples;
+    s.service_samples = in.service_samples;
+    s.expected_visits = in.expected_visits;
+    s.missed_visits = in.missed_visits;
+    s.code_executions = in.code_executions;
+    s.code_misses = in.code_misses;
+    s.hop_latency_ns.RestoreState(in.hop_latency_ns);
+    s.queue_bytes.RestoreState(in.queue_bytes);
+    ships_.emplace(in.ship, std::move(s));
+  }
+  hops_observed_ = state.hops_observed;
+  spans_ingested_ = state.spans_ingested;
+  span_cursor_ = state.span_cursor;
+}
+
+// ---- AnomalyDetector -------------------------------------------------------
+
+bool AnomalyDetector::Raise(HealthEventKind kind, net::NodeId ship,
+                            sim::TimePoint now, double value, double threshold,
+                            std::string detail,
+                            std::vector<HealthEvent>& fresh) {
+  auto& flag = active_[{static_cast<std::uint8_t>(kind), ship}];
+  if (flag) return false;  // episode already reported
+  flag = true;
+  HealthEvent event;
+  event.time = now;
+  event.kind = kind;
+  event.ship = ship;
+  event.value = value;
+  event.threshold = threshold;
+  event.detail = std::move(detail);
+  events_.push_back(event);
+  fresh.push_back(std::move(event));
+  return true;
+}
+
+void AnomalyDetector::Clear(HealthEventKind kind, net::NodeId ship) {
+  const auto it = active_.find({static_cast<std::uint8_t>(kind), ship});
+  if (it != active_.end()) it->second = false;
+}
+
+std::vector<HealthEvent> AnomalyDetector::CheckRecord(
+    const ProbeRecord& record, sim::TimePoint now) {
+  std::vector<HealthEvent> fresh;
+  std::map<net::NodeId, std::size_t> visits;
+  for (const HopSample& hop : record.hops) ++visits[hop.ship];
+  for (const auto& [ship, count] : visits) {
+    if (count > config_.loop_repeats) {
+      Raise(HealthEventKind::kRoutingLoop, ship, now,
+            static_cast<double>(count),
+            static_cast<double>(config_.loop_repeats),
+            "probe " + std::to_string(record.probe_id) + " crossed ship " +
+                std::to_string(ship) + " " + std::to_string(count) + " times",
+            fresh);
+    }
+  }
+  return fresh;
+}
+
+std::vector<HealthEvent> AnomalyDetector::Evaluate(
+    const HealthRegistry& registry, sim::TimePoint now) {
+  std::vector<HealthEvent> fresh;
+  const auto& ships = registry.ships();
+
+  // Network-wide hop-latency distribution for the z-score rule.
+  double mean = 0.0, m2 = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [node, s] : ships) {
+    if (s.samples < registry.config().min_samples) continue;
+    ++n;
+    const double delta = s.hop_latency_ewma - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (s.hop_latency_ewma - mean);
+  }
+  const double stddev = n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+
+  for (const auto& [node, s] : ships) {
+    bool degraded = false;
+    // Rule 1: hop-latency z-score against the network's own distribution.
+    if (s.samples >= config_.min_samples && stddev > 1e-9) {
+      const double z = (s.hop_latency_ewma - mean) / stddev;
+      if (z > config_.z_threshold) {
+        degraded = true;
+        Raise(HealthEventKind::kDegradedShip, node, now, z, config_.z_threshold,
+              "hop latency z-score " + std::to_string(z), fresh);
+      }
+    }
+    // Rule 2: probe-loss ratio — probes that name this ship as a waypoint
+    // keep vanishing (dead or flaky ship / links).
+    if (s.expected_visits >= config_.min_expected_visits) {
+      const double ratio = static_cast<double>(s.missed_visits) /
+                           static_cast<double>(s.expected_visits);
+      if (ratio >= config_.loss_ratio_threshold) {
+        degraded = true;
+        Raise(HealthEventKind::kDegradedShip, node, now, ratio,
+              config_.loss_ratio_threshold,
+              "probe loss ratio " + std::to_string(ratio) + " (" +
+                  std::to_string(s.missed_visits) + "/" +
+                  std::to_string(s.expected_visits) + " visits missed)",
+              fresh);
+      }
+    }
+    // Rule 3: absolute score floor.
+    if (s.samples >= config_.min_samples) {
+      const double score = registry.ScoreOf(node);
+      if (score < config_.degraded_score) {
+        degraded = true;
+        Raise(HealthEventKind::kDegradedShip, node, now, score,
+              config_.degraded_score, "health score " + std::to_string(score),
+              fresh);
+      }
+    }
+    if (!degraded) Clear(HealthEventKind::kDegradedShip, node);
+
+    // Rule 4: starved EE — code misses grew since the previous evaluation
+    // while executions did not (demand loading never completes).
+    const auto prev = prev_code_counters_.find(node);
+    if (prev != prev_code_counters_.end()) {
+      const auto [prev_exec, prev_miss] = prev->second;
+      if (s.code_misses > prev_miss && s.code_executions == prev_exec) {
+        Raise(HealthEventKind::kStarvedEe, node, now,
+              static_cast<double>(s.code_misses - prev_miss), 0.0,
+              std::to_string(s.code_misses - prev_miss) +
+                  " new code misses with no executions",
+              fresh);
+      } else if (s.code_executions > prev_exec) {
+        Clear(HealthEventKind::kStarvedEe, node);
+      }
+    }
+    prev_code_counters_[node] = {s.code_executions, s.code_misses};
+  }
+  return fresh;
+}
+
+AnomalyDetector::RawState AnomalyDetector::SaveState() const {
+  RawState state;
+  state.events = events_;
+  for (const auto& [key, flag] : active_) {
+    if (flag) state.active.push_back(key);
+  }
+  for (const auto& [node, counters] : prev_code_counters_) {
+    state.prev_code_counters.emplace_back(node, counters);
+  }
+  return state;
+}
+
+void AnomalyDetector::RestoreState(RawState state) {
+  events_ = std::move(state.events);
+  active_.clear();
+  for (const auto& key : state.active) active_[key] = true;
+  prev_code_counters_.clear();
+  for (const auto& [node, counters] : state.prev_code_counters) {
+    prev_code_counters_[node] = counters;
+  }
+}
+
+}  // namespace viator::health

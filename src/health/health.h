@@ -1,0 +1,247 @@
+// Self-Referential Health Plane: streaming health scoring and anomaly
+// detection over in-band probe measurements.
+//
+// The Self-Reference Principle requires the network to observe and describe
+// itself; the Multidimensional Feedback Principle requires those
+// observations to feed back into its evolution. The health plane closes
+// that loop: probe capsules (probe.h) wander the network recording per-hop
+// measurements, the HealthRegistry folds the deposited records into per-ship
+// EWMAs and deterministic quantile sketches (sim::Histogram buckets), and
+// the AnomalyDetector raises structured HealthEvents from rule + z-score
+// checks over those series — optionally feeding SRP's ReputationSystem.
+//
+// Everything here is bit-for-bit deterministic: same seed, same probes, same
+// scores, same events. Wall-clock never enters any health series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "telemetry/span.h"
+
+namespace viator::health {
+
+struct HealthConfig {
+  /// Master switch. Off (the default) means no probes are ever emitted and
+  /// the plane costs one branch per shuttle receive — the seed behaves
+  /// identically to a build without the health plane.
+  bool enable_probes = false;
+
+  /// Ship that emits probes and collects deposited records.
+  net::NodeId collector = 0;
+
+  /// Probe schedule: every `probe_interval`, `probes_per_round` capsules are
+  /// emitted, each wandering through `waypoints_per_probe` random ships
+  /// before returning to the collector.
+  sim::Duration probe_interval = 50 * sim::kMillisecond;
+  std::size_t probes_per_round = 4;
+  std::size_t waypoints_per_probe = 2;
+  std::uint8_t probe_ttl = 64;
+
+  /// A pending probe older than this counts as lost; its waypoints accrue
+  /// missed visits (the loss-ratio rule below detects dead/flaky ships).
+  sim::Duration probe_timeout = 200 * sim::kMillisecond;
+
+  /// Streaming-score parameters. Scores are the product of three factors in
+  /// (0, 1]: queue pressure, hop latency and probe-visit reachability (see
+  /// docs/HEALTH.md for the exact formula).
+  double ewma_alpha = 0.2;
+  double queue_scale_bytes = 4096.0;
+  double latency_scale_ns = 2.0e7;
+
+  /// Anomaly rules.
+  double z_threshold = 3.0;            // hop-latency z-score → degraded
+  double degraded_score = 0.5;         // absolute score floor → degraded
+  double loss_ratio_threshold = 0.5;   // missed/expected visits → degraded
+  std::uint64_t min_samples = 8;       // hop samples before score/z rules
+  std::uint64_t min_expected_visits = 6;  // visits before the loss rule
+  std::size_t loop_repeats = 3;        // same ship > this often in one record
+
+  /// MFP loop closure: report anomalous ships to SRP's ReputationSystem as
+  /// unfair interactions. Off by default (pure observation).
+  bool feed_reputation = false;
+};
+
+enum class HealthEventKind : std::uint8_t {
+  kDegradedShip = 0,  // slow, congested or unreachable ship
+  kStarvedEe,         // code misses accumulate but nothing ever executes
+  kRoutingLoop,       // one probe crossed the same ship repeatedly
+  kKindCount,
+};
+
+std::string_view HealthEventKindName(HealthEventKind kind);
+std::optional<HealthEventKind> HealthEventKindFromName(std::string_view name);
+
+/// One structured anomaly. `value` is the measured quantity that tripped the
+/// rule, `threshold` the configured bound it crossed.
+struct HealthEvent {
+  sim::TimePoint time = 0;
+  HealthEventKind kind = HealthEventKind::kDegradedShip;
+  net::NodeId ship = net::kInvalidNode;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::string detail;
+};
+
+/// One decoded per-hop measurement (probe payload codec in probe.h).
+struct HopSample {
+  net::NodeId ship = net::kInvalidNode;
+  net::NodeId arrived_from = net::kInvalidNode;
+  sim::TimePoint arrival = 0;
+  std::uint64_t queue_bytes = 0;        // fabric tx bytes queued at the ship
+  std::uint64_t service_latency_ns = 0; // registry service EWMA at hop time
+  std::uint64_t code_executions = 0;    // ship counters at hop time
+  std::uint64_t code_misses = 0;
+  std::uint32_t ttl_remaining = 0;
+};
+
+/// One deposited probe record.
+struct ProbeRecord {
+  std::uint64_t probe_id = 0;
+  std::uint64_t round = 0;
+  sim::TimePoint emitted = 0;
+  std::vector<net::NodeId> waypoints;
+  std::vector<HopSample> hops;
+};
+
+/// Streaming per-ship health state: EWMAs for the score, Histograms (the
+/// deterministic fixed-bucket quantile sketch) for the distributions.
+class HealthRegistry {
+ public:
+  explicit HealthRegistry(const HealthConfig& config) : config_(config) {}
+
+  struct ShipHealth {
+    double queue_ewma = 0.0;
+    double hop_latency_ewma = 0.0;
+    double service_latency_ewma = 0.0;
+    std::uint64_t samples = 0;           // hop samples folded in
+    std::uint64_t service_samples = 0;   // spans folded in
+    std::uint64_t expected_visits = 0;   // times picked as a probe waypoint
+    std::uint64_t missed_visits = 0;     // waypoint visits of lost probes
+    std::uint64_t code_executions = 0;   // latest probe-observed counters
+    std::uint64_t code_misses = 0;
+    sim::Histogram hop_latency_ns;
+    sim::Histogram queue_bytes;
+  };
+
+  /// A probe was emitted with these waypoints (visit expectations).
+  void RecordEmission(const std::vector<net::NodeId>& waypoints);
+
+  /// A probe record was deposited at the collector: fold every hop sample
+  /// into the per-ship series. With `mirror` set, network-wide distributions
+  /// ("health.hop_latency_ns", "health.queue_bytes") are also recorded there
+  /// so the standard exporters see them.
+  void AbsorbProbe(const ProbeRecord& record,
+                   sim::StatsRegistry* mirror = nullptr);
+
+  /// A pending probe timed out: its waypoints accrue missed visits.
+  void RecordLoss(const std::vector<net::NodeId>& waypoints);
+
+  /// Folds spans committed since the last call into per-ship service-latency
+  /// EWMAs — the self-referential step: the observability plane feeds on the
+  /// network's own span stream. Assumes the collector is not Clear()ed
+  /// between calls (the cursor resets if it shrinks).
+  void IngestSpans(const telemetry::SpanCollector& spans);
+
+  /// Streaming health score in (0, 1]; 1.0 for ships never observed.
+  double ScoreOf(net::NodeId ship) const;
+
+  const std::map<net::NodeId, ShipHealth>& ships() const { return ships_; }
+  const HealthConfig& config() const { return config_; }
+
+  std::uint64_t hops_observed() const { return hops_observed_; }
+  std::uint64_t spans_ingested() const { return spans_ingested_; }
+
+  /// Writes per-ship score gauges ("health.score.<node>") and the tracked
+  /// ship count into `stats`, making scores visible to every exporter.
+  void PublishScores(sim::StatsRegistry& stats) const;
+
+  /// Exact state for genesis snapshots; restoring reproduces every accessor
+  /// bit-for-bit.
+  struct RawState {
+    struct ShipState {
+      net::NodeId ship = net::kInvalidNode;
+      double queue_ewma = 0.0;
+      double hop_latency_ewma = 0.0;
+      double service_latency_ewma = 0.0;
+      std::uint64_t samples = 0;
+      std::uint64_t service_samples = 0;
+      std::uint64_t expected_visits = 0;
+      std::uint64_t missed_visits = 0;
+      std::uint64_t code_executions = 0;
+      std::uint64_t code_misses = 0;
+      sim::Histogram::RawState hop_latency_ns;
+      sim::Histogram::RawState queue_bytes;
+    };
+    std::vector<ShipState> ships;
+    std::uint64_t hops_observed = 0;
+    std::uint64_t spans_ingested = 0;
+    std::uint64_t span_cursor = 0;
+  };
+  RawState SaveState() const;
+  void RestoreState(const RawState& state);
+
+ private:
+  void Ewma(double& acc, double sample, std::uint64_t prior_count) const;
+
+  HealthConfig config_;
+  std::map<net::NodeId, ShipHealth> ships_;
+  std::uint64_t hops_observed_ = 0;
+  std::uint64_t spans_ingested_ = 0;
+  std::size_t span_cursor_ = 0;  // spans consumed from the collector
+};
+
+/// Deterministic rule + z-score engine over the registry's health series.
+/// Raised events accumulate in `events()`; an active-set keeps one event per
+/// (kind, ship) condition episode (the flag clears when the condition does).
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(const HealthConfig& config) : config_(config) {}
+
+  /// Immediate per-record rule: routing-loop suspicion (one ship visited
+  /// more than `loop_repeats` times by a single probe).
+  std::vector<HealthEvent> CheckRecord(const ProbeRecord& record,
+                                       sim::TimePoint now);
+
+  /// Periodic rules over the whole registry: hop-latency z-score, absolute
+  /// score floor, probe-loss ratio (degraded ship) and starved-EE detection.
+  /// Returns only the events newly raised by this evaluation.
+  std::vector<HealthEvent> Evaluate(const HealthRegistry& registry,
+                                    sim::TimePoint now);
+
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+  struct RawState {
+    std::vector<HealthEvent> events;
+    /// Active (kind, ship) condition episodes.
+    std::vector<std::pair<std::uint8_t, net::NodeId>> active;
+    /// Per-ship (executions, misses) seen at the previous Evaluate().
+    std::vector<std::pair<net::NodeId, std::pair<std::uint64_t, std::uint64_t>>>
+        prev_code_counters;
+  };
+  RawState SaveState() const;
+  void RestoreState(RawState state);
+
+ private:
+  /// Raises (kind, ship) unless its episode is already active. Returns true
+  /// when a new event was appended to both `events_` and `fresh`.
+  bool Raise(HealthEventKind kind, net::NodeId ship, sim::TimePoint now,
+             double value, double threshold, std::string detail,
+             std::vector<HealthEvent>& fresh);
+  void Clear(HealthEventKind kind, net::NodeId ship);
+
+  HealthConfig config_;
+  std::vector<HealthEvent> events_;
+  std::map<std::pair<std::uint8_t, net::NodeId>, bool> active_;
+  std::map<net::NodeId, std::pair<std::uint64_t, std::uint64_t>>
+      prev_code_counters_;
+};
+
+}  // namespace viator::health

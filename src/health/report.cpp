@@ -1,0 +1,265 @@
+#include "health/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <set>
+
+namespace viator::health {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string Quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+// Field scanners for our own fixed-shape lines (mirrors telemetry/export.cpp;
+// the shapes are private to each format, so the scanners are too).
+std::optional<std::string> FindString(std::string_view line,
+                                      std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + pattern.size();
+  std::string out;
+  while (i < line.size() && line[i] != '"') {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char esc = line[i + 1];
+      i += 2;
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += esc;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<double> FindNumber(std::string_view line, std::string_view key) {
+  const std::string pattern = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(pattern);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::string rest(line.substr(pos + pattern.size()));
+  try {
+    return std::stod(rest);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::uint64_t AsU64(std::optional<double> v) {
+  return v ? static_cast<std::uint64_t>(*v) : 0;
+}
+
+}  // namespace
+
+void WriteHealthJsonl(const HealthReport& report, std::ostream& out) {
+  for (const ShipReportEntry& s : report.ships) {
+    out << "{\"kind\":\"ship\",\"ship\":" << s.ship
+        << ",\"score\":" << Num(s.score)
+        << ",\"queue_ewma\":" << Num(s.queue_ewma)
+        << ",\"hop_latency_ewma\":" << Num(s.hop_latency_ewma)
+        << ",\"service_latency_ewma\":" << Num(s.service_latency_ewma)
+        << ",\"samples\":" << s.samples
+        << ",\"expected_visits\":" << s.expected_visits
+        << ",\"missed_visits\":" << s.missed_visits
+        << ",\"code_executions\":" << s.code_executions
+        << ",\"code_misses\":" << s.code_misses << "}\n";
+  }
+  for (const HealthEvent& e : report.events) {
+    out << "{\"kind\":\"event\",\"time\":" << e.time
+        << ",\"type\":" << Quoted(HealthEventKindName(e.kind))
+        << ",\"ship\":" << e.ship << ",\"value\":" << Num(e.value)
+        << ",\"threshold\":" << Num(e.threshold)
+        << ",\"detail\":" << Quoted(e.detail) << "}\n";
+  }
+  const HealthSummary& sum = report.summary;
+  out << "{\"kind\":\"summary\",\"probes_emitted\":" << sum.probes_emitted
+      << ",\"probes_absorbed\":" << sum.probes_absorbed
+      << ",\"probes_lost\":" << sum.probes_lost
+      << ",\"hops_observed\":" << sum.hops_observed
+      << ",\"spans_ingested\":" << sum.spans_ingested
+      << ",\"events\":" << sum.events << "}\n";
+}
+
+std::optional<HealthReport> ParseHealthJsonl(std::istream& in) {
+  HealthReport report;
+  bool have_summary = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto kind = FindString(line, "kind");
+    if (!kind) continue;
+    if (*kind == "ship") {
+      ShipReportEntry s;
+      s.ship = static_cast<net::NodeId>(AsU64(FindNumber(line, "ship")));
+      s.score = FindNumber(line, "score").value_or(1.0);
+      s.queue_ewma = FindNumber(line, "queue_ewma").value_or(0.0);
+      s.hop_latency_ewma = FindNumber(line, "hop_latency_ewma").value_or(0.0);
+      s.service_latency_ewma =
+          FindNumber(line, "service_latency_ewma").value_or(0.0);
+      s.samples = AsU64(FindNumber(line, "samples"));
+      s.expected_visits = AsU64(FindNumber(line, "expected_visits"));
+      s.missed_visits = AsU64(FindNumber(line, "missed_visits"));
+      s.code_executions = AsU64(FindNumber(line, "code_executions"));
+      s.code_misses = AsU64(FindNumber(line, "code_misses"));
+      report.ships.push_back(s);
+    } else if (*kind == "event") {
+      HealthEvent e;
+      e.time = AsU64(FindNumber(line, "time"));
+      const auto type = FindString(line, "type");
+      if (type) {
+        if (const auto parsed = HealthEventKindFromName(*type)) {
+          e.kind = *parsed;
+        }
+      }
+      e.ship = static_cast<net::NodeId>(AsU64(FindNumber(line, "ship")));
+      e.value = FindNumber(line, "value").value_or(0.0);
+      e.threshold = FindNumber(line, "threshold").value_or(0.0);
+      e.detail = FindString(line, "detail").value_or("");
+      report.events.push_back(std::move(e));
+    } else if (*kind == "summary") {
+      report.summary.probes_emitted = AsU64(FindNumber(line, "probes_emitted"));
+      report.summary.probes_absorbed =
+          AsU64(FindNumber(line, "probes_absorbed"));
+      report.summary.probes_lost = AsU64(FindNumber(line, "probes_lost"));
+      report.summary.hops_observed = AsU64(FindNumber(line, "hops_observed"));
+      report.summary.spans_ingested = AsU64(FindNumber(line, "spans_ingested"));
+      report.summary.events = AsU64(FindNumber(line, "events"));
+      have_summary = true;
+    }
+  }
+  if (!have_summary) return std::nullopt;
+  return report;
+}
+
+std::vector<std::string> DiffHealthReports(const HealthReport& baseline,
+                                           const HealthReport& current,
+                                           const HealthDiffOptions& options) {
+  std::vector<std::string> regressions;
+  std::map<net::NodeId, const ShipReportEntry*> current_ships;
+  for (const ShipReportEntry& s : current.ships) current_ships[s.ship] = &s;
+  for (const ShipReportEntry& base : baseline.ships) {
+    const auto it = current_ships.find(base.ship);
+    if (it == current_ships.end()) {
+      regressions.push_back("ship " + std::to_string(base.ship) +
+                            " disappeared from the current report");
+      continue;
+    }
+    const double drop = base.score - it->second->score;
+    if (drop > options.score_tolerance) {
+      regressions.push_back(
+          "ship " + std::to_string(base.ship) + " score dropped " +
+          Num(base.score) + " -> " + Num(it->second->score) +
+          " (tolerance " + Num(options.score_tolerance) + ")");
+    }
+  }
+  // Event census per kind: more events of any kind is a regression.
+  std::map<std::string, std::size_t> base_events, cur_events;
+  for (const HealthEvent& e : baseline.events) {
+    ++base_events[std::string(HealthEventKindName(e.kind))];
+  }
+  for (const HealthEvent& e : current.events) {
+    ++cur_events[std::string(HealthEventKindName(e.kind))];
+  }
+  for (const auto& [kind, count] : cur_events) {
+    const auto it = base_events.find(kind);
+    const std::size_t base_count = it == base_events.end() ? 0 : it->second;
+    if (count > base_count) {
+      regressions.push_back("anomaly count for " + kind + " grew " +
+                            std::to_string(base_count) + " -> " +
+                            std::to_string(count));
+    }
+  }
+  return regressions;
+}
+
+std::map<std::string, double> ParseFlatJson(std::istream& in) {
+  std::map<std::string, double> metrics;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto open = line.find('"');
+    if (open == std::string::npos) continue;
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    const auto colon = line.find(':', close);
+    if (colon == std::string::npos) continue;
+    try {
+      metrics[line.substr(open + 1, close - open - 1)] =
+          std::stod(line.substr(colon + 1));
+    } catch (...) {
+      // not a "key": number line (braces etc.)
+    }
+  }
+  return metrics;
+}
+
+std::vector<std::string> CompareBenchMetrics(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& current,
+    const BenchGateOptions& options) {
+  std::vector<std::string> regressions;
+  const auto ignored = [&](const std::string& name) {
+    for (const std::string& sub : options.ignore_substrings) {
+      if (name.find(sub) != std::string::npos) return true;
+    }
+    return false;
+  };
+  for (const auto& [name, base] : baseline) {
+    if (ignored(name)) continue;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      regressions.push_back("metric " + name + " missing from current run");
+      continue;
+    }
+    const double cur = it->second;
+    const double denom = std::max(std::fabs(base), 1e-12);
+    const double drift = std::fabs(cur - base) / denom;
+    if (drift > options.tolerance) {
+      regressions.push_back("metric " + name + " drifted " + Num(base) +
+                            " -> " + Num(cur) + " (" + Num(drift * 100.0) +
+                            "% > " + Num(options.tolerance * 100.0) + "%)");
+    }
+  }
+  return regressions;
+}
+
+}  // namespace viator::health

@@ -65,7 +65,11 @@ Status Fabric::Send(Frame frame) {
     link_bytes_[lid] += size;
   });
 
-  const bool lost = rng_.Bernoulli(loss);
+  // Telemetry frames (health probes) never consume a loss draw: the loss
+  // stream must advance identically whether or not the measurement plane is
+  // active. They still pay propagation latency and the delivery-time link
+  // re-check below, so probes observe outages like real traffic does.
+  const bool lost = frame.telemetry ? false : rng_.Bernoulli(loss);
   if (lost) {
     ++frames_dropped_;
     stats_.GetCounter("fabric.frames_lost").Add();

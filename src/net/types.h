@@ -24,6 +24,11 @@ struct Frame {
   std::uint32_t size_bytes = 64;  // wire size incl. headers
   std::uint64_t frame_id = 0;     // unique per fabric, for traces
   std::any payload;               // upper-layer content (value semantics)
+  /// Measurement-plane frame (health probes). Telemetry frames ride the
+  /// fabric without drawing from its loss stream, so a run with probes
+  /// enabled keeps the exact per-frame loss draws of the same run without
+  /// them (determinism neutrality of the observability plane).
+  bool telemetry = false;
 };
 
 }  // namespace viator::net

@@ -15,6 +15,7 @@ EventHandle Simulator::ScheduleAt(TimePoint when, Callback fn,
   if (observer_ && component != nullptr) component_by_seq_[ev.seq] = component;
   EventHandle handle(ev.alive);
   queue_.push(std::move(ev));
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return handle;
 }
 

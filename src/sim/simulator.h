@@ -93,6 +93,14 @@ class Simulator {
   /// for tests and end-of-run assertions, not hot paths.
   std::size_t PendingEvents() const;
 
+  /// Current event-queue size, O(1). Counts tombstoned (cancelled) events
+  /// still awaiting lazy removal, so this is queue *occupancy*, the number
+  /// PendingEvents() refines. Exported as a profiler gauge.
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// High-water mark of queue_depth() since construction.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
   /// Total events dispatched since construction.
   std::uint64_t dispatched() const { return dispatched_; }
 
@@ -122,6 +130,7 @@ class Simulator {
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   DispatchObserver observer_;
   std::unordered_map<std::uint64_t, const char*> component_by_seq_;

@@ -141,6 +141,43 @@ std::string PrometheusName(std::string_view name) {
   return out;
 }
 
+// HELP text escaping per the exposition format: backslash and line feed.
+std::string PrometheusHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Label value escaping: backslash, double quote and line feed.
+std::string PrometheusLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PrometheusHeader(std::ostream& out, const std::string& pname,
+                      std::string_view original, std::string_view kind,
+                      std::string_view type) {
+  out << "# HELP " << pname << " Viator " << kind << " "
+      << PrometheusHelp(original) << "\n"
+      << "# TYPE " << pname << " " << type << "\n";
+}
+
 }  // namespace
 
 void WriteSpansJsonl(const std::vector<SpanRecord>& spans, std::ostream& out) {
@@ -320,28 +357,28 @@ std::map<std::string, double> ParseMetricsJsonl(std::istream& in) {
 void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out) {
   for (const auto& [name, counter] : stats.counters()) {
     const std::string pname = PrometheusName(name);
-    out << "# TYPE " << pname << " counter\n"
-        << pname << " " << counter.value() << "\n";
+    PrometheusHeader(out, pname, name, "counter", "counter");
+    out << pname << " " << counter.value() << "\n";
   }
   for (const auto& [name, gauge] : stats.gauges()) {
     const std::string pname = PrometheusName(name);
-    out << "# TYPE " << pname << " gauge\n"
-        << pname << " " << ShortestDouble(gauge.value()) << "\n";
+    PrometheusHeader(out, pname, name, "gauge", "gauge");
+    out << pname << " " << ShortestDouble(gauge.value()) << "\n";
   }
   for (const auto& [name, hist] : stats.histograms()) {
     const std::string pname = PrometheusName(name);
-    out << "# TYPE " << pname << " summary\n";
+    PrometheusHeader(out, pname, name, "histogram", "summary");
     for (const double q : {0.5, 0.9, 0.99}) {
-      out << pname << "{quantile=\"" << FormatDouble(q, 2) << "\"} "
-          << ShortestDouble(hist.Quantile(q)) << "\n";
+      out << pname << "{quantile=\"" << PrometheusLabel(FormatDouble(q, 2))
+          << "\"} " << ShortestDouble(hist.Quantile(q)) << "\n";
     }
     out << pname << "_sum " << ShortestDouble(hist.sum()) << "\n"
         << pname << "_count " << hist.count() << "\n";
   }
   for (const auto& [name, series] : stats.series()) {
     const std::string pname = PrometheusName(name);
-    out << "# TYPE " << pname << " gauge\n"
-        << pname << " "
+    PrometheusHeader(out, pname, name, "series", "gauge");
+    out << pname << " "
         << ShortestDouble(series.samples().empty()
                               ? 0.0
                               : series.samples().back().value)

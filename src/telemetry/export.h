@@ -65,7 +65,10 @@ void WriteMetricsJsonl(const sim::StatsRegistry& stats, std::ostream& out);
 std::map<std::string, double> ParseMetricsJsonl(std::istream& in);
 
 /// Prometheus text exposition: names are sanitized ('.' → '_') and prefixed
-/// "viator_"; histograms export as summaries with quantile labels.
+/// "viator_"; every metric gets "# HELP" (backslash/newline escaped) and
+/// "# TYPE" lines; histograms export as summaries with quantile labels
+/// (label values escaped per the exposition format). Output is byte-stable
+/// for a given registry state — tests golden it.
 void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out);
 
 }  // namespace viator::telemetry

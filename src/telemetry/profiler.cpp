@@ -84,4 +84,17 @@ void Profiler::WriteJson(std::ostream& out) const {
   out << "\n}\n";
 }
 
+void Profiler::PublishStats(sim::StatsRegistry& stats) const {
+  if (simulator_ != nullptr) {
+    stats.GetGauge("profiler.queue_depth")
+        .Set(static_cast<double>(simulator_->queue_depth()));
+    stats.GetGauge("profiler.queue_depth_max")
+        .Set(static_cast<double>(simulator_->max_queue_depth()));
+  }
+  for (const auto& [name, cost] : costs_) {
+    stats.GetGauge("profiler.events." + name)
+        .Set(static_cast<double>(cost.calls));
+  }
+}
+
 }  // namespace viator::telemetry

@@ -60,6 +60,13 @@ class Profiler {
   /// virtual_ns}. One component per line for greppability.
   void WriteJson(std::ostream& out) const;
 
+  /// Publishes the profiler's *deterministic* measurements as gauges:
+  /// "profiler.queue_depth" / "profiler.queue_depth_max" (simulator event
+  /// queue occupancy, current and high-water) and per-component event counts
+  /// ("profiler.events.<component>"). Wall-clock numbers deliberately stay
+  /// out — published values are identical across identical-seed runs.
+  void PublishStats(sim::StatsRegistry& stats) const;
+
   /// RAII section timer. Constructing against a null profiler (or one that
   /// is not attached) is inert and costs one branch.
   class Scope {

@@ -240,6 +240,32 @@ TEST(Export, PrometheusTextSanitizesNames) {
   EXPECT_EQ(text.find("viator_fabric.latency"), std::string::npos);
 }
 
+TEST(Export, PrometheusTextMatchesGoldenBytes) {
+  // Byte-exact exposition-format golden: HELP + TYPE per metric, sanitized
+  // names, summary quantiles. Exporter changes must update this golden
+  // deliberately — scrape configs depend on the exact shape.
+  sim::StatsRegistry stats;
+  stats.GetCounter("wn.probes").Add(3);
+  stats.GetGauge("health.score.4").Set(0.25);
+  stats.GetHistogram("h.lat").Record(4.0);
+  std::ostringstream out;
+  telemetry::WritePrometheusText(stats, out);
+  EXPECT_EQ(out.str(),
+            "# HELP viator_wn_probes Viator counter wn.probes\n"
+            "# TYPE viator_wn_probes counter\n"
+            "viator_wn_probes 3\n"
+            "# HELP viator_health_score_4 Viator gauge health.score.4\n"
+            "# TYPE viator_health_score_4 gauge\n"
+            "viator_health_score_4 0.25\n"
+            "# HELP viator_h_lat Viator histogram h.lat\n"
+            "# TYPE viator_h_lat summary\n"
+            "viator_h_lat{quantile=\"0.50\"} 4\n"
+            "viator_h_lat{quantile=\"0.90\"} 4\n"
+            "viator_h_lat{quantile=\"0.99\"} 4\n"
+            "viator_h_lat_sum 4\n"
+            "viator_h_lat_count 1\n");
+}
+
 // ---- Profiler ---------------------------------------------------------------
 
 TEST(Profiler, AttributesCostPerComponent) {
@@ -265,6 +291,32 @@ TEST(Profiler, AttributesCostPerComponent) {
   profiler.WriteJson(json);
   EXPECT_NE(report.str().find("fabric.deliver"), std::string::npos);
   EXPECT_NE(json.str().find("\"manual.section\""), std::string::npos);
+}
+
+TEST(Profiler, PublishStatsExportsDeterministicGauges) {
+  sim::Simulator simulator;
+  telemetry::Profiler profiler;
+  profiler.Attach(simulator);
+  simulator.ScheduleAfter(10, [] {}, "fabric.deliver");
+  simulator.ScheduleAfter(20, [] {}, "fabric.deliver");
+  simulator.ScheduleAfter(30, [] {}, "ship.consume");
+  EXPECT_EQ(simulator.queue_depth(), 3u);
+  simulator.RunAll();
+
+  sim::StatsRegistry stats;
+  profiler.PublishStats(stats);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("profiler.queue_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("profiler.queue_depth_max").value(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("profiler.events.fabric.deliver").value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("profiler.events.ship.consume").value(),
+                   1.0);
+  // Wall-clock numbers must not leak into the registry: every published
+  // value is identical across identical-seed runs.
+  for (const auto& [name, gauge] : stats.gauges()) {
+    EXPECT_NE(name.find("profiler."), std::string::npos) << name;
+    EXPECT_EQ(name.find("wall"), std::string::npos) << name;
+  }
 }
 
 TEST(Profiler, DetachedScopeIsInert) {

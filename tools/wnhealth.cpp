@@ -1,0 +1,242 @@
+// wnhealth — Self-Referential Health Plane tool and regression gate.
+//
+//   wnhealth record <out-dir> [--degrade]   run the seeded probe scenario,
+//                                        write health.jsonl (full report),
+//                                        anomalies.jsonl (events only) and
+//                                        health.prom (Prometheus text);
+//                                        --degrade fails a transit ship
+//                                        mid-run so probes flag it
+//   wnhealth check  <health.jsonl> [--max-events N]
+//                                        gate: exit 4 when the report holds
+//                                        more than N anomalies (default 0)
+//   wnhealth diff   <baseline.jsonl> <current.jsonl> [--tolerance T]
+//                                        gate: exit 4 on score drops beyond
+//                                        T (default 0.05), vanished ships or
+//                                        per-kind anomaly growth
+//   wnhealth bench  <baseline.json> <current.json> [--tolerance T]
+//                                        gate: exit 4 when BENCH_*.json
+//                                        metrics drift beyond T (default
+//                                        0.25); wall-clock keys are ignored
+//
+// Exit codes are CI-stable: 0 pass, 1 I/O error, 2 usage, 4 gate failure.
+// Identical-seed record runs write byte-identical health.jsonl files.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/wandering_network.h"
+#include "health/probe.h"
+#include "health/report.h"
+#include "net/failure.h"
+#include "net/topology.h"
+#include "services/caching.h"
+#include "sim/simulator.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace viator;  // tool code; the library never does this
+
+int Usage() {
+  std::cerr << "usage: wnhealth record <out-dir> [--degrade]\n"
+               "       wnhealth check  <health.jsonl> [--max-events N]\n"
+               "       wnhealth diff   <baseline.jsonl> <current.jsonl>"
+               " [--tolerance T]\n"
+               "       wnhealth bench  <baseline.json> <current.json>"
+               " [--tolerance T]\n";
+  return 2;
+}
+
+std::optional<health::HealthReport> LoadReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "wnhealth: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  auto report = health::ParseHealthJsonl(in);
+  if (!report) {
+    std::cerr << "wnhealth: " << path << " is not a health report\n";
+  }
+  return report;
+}
+
+/// Seeded probe scenario: the wnscope demo workload (3x3 grid, center cache,
+/// corner origin, three requesters) with the health plane on top — probes
+/// every 50ms from ship 0 for two simulated seconds. With `degrade`, ship 5
+/// goes down for good at t=500ms; probe losses then flag it as degraded.
+int RunRecord(const std::string& out_dir, bool degrade) {
+  constexpr std::uint64_t kSeed = 424242;
+  constexpr sim::TimePoint kRunEnd = 2 * sim::kSecond;
+  sim::Simulator simulator;
+  net::Topology topology = net::MakeGrid(3, 3);
+  wli::WnConfig config;
+  config.telemetry.enable_tracing = true;
+  wli::WanderingNetwork network(simulator, topology, config, kSeed);
+  network.PopulateAllNodes();
+
+  health::HealthConfig hconfig;
+  hconfig.enable_probes = true;
+  hconfig.collector = 0;
+  health::ProbePlane plane(network, hconfig, kSeed);
+  plane.StartProbes(kRunEnd);
+
+  services::ContentOrigin origin(network, 8, /*object_words=*/16);
+  services::CachingService cache(network, 4, 8);
+  // Private stream: the failure process must not perturb network draws.
+  net::FailureInjector failures(simulator, topology, Rng(kSeed ^ 0xFA17ED));
+  if (degrade) {
+    failures.FailNode(5, 500 * sim::kMillisecond, /*outage=*/0);
+  }
+
+  // Requesters fire every 150ms so workload and probes interleave.
+  const net::NodeId requesters[] = {0, 2, 6};
+  std::uint64_t flow = 1;
+  sim::TimePoint at = 100 * sim::kMillisecond;
+  for (std::uint64_t content_id = 7; content_id <= 8; ++content_id) {
+    for (net::NodeId requester : requesters) {
+      simulator.ScheduleAt(
+          at,
+          [&network, requester, content_id, flow] {
+            (void)network.Inject(wli::Shuttle::Data(
+                requester, 4,
+                {services::kCacheOpGet,
+                 static_cast<std::int64_t>(content_id)},
+                flow));
+          },
+          "wnhealth.workload");
+      ++flow;
+      at += 150 * sim::kMillisecond;
+    }
+  }
+  simulator.RunUntil(kRunEnd);
+  simulator.RunAll();
+  plane.Evaluate();  // final scoring pass over everything deposited
+
+  const health::HealthReport report = plane.BuildReport();
+  std::ofstream health_out(out_dir + "/health.jsonl");
+  std::ofstream anomalies_out(out_dir + "/anomalies.jsonl");
+  std::ofstream prom_out(out_dir + "/health.prom");
+  if (!health_out || !anomalies_out || !prom_out) {
+    std::cerr << "wnhealth: cannot write into " << out_dir << "\n";
+    return 1;
+  }
+  health::WriteHealthJsonl(report, health_out);
+  health::HealthReport anomalies_only;
+  anomalies_only.events = report.events;
+  anomalies_only.summary = report.summary;
+  health::WriteHealthJsonl(anomalies_only, anomalies_out);
+  telemetry::WritePrometheusText(network.stats(), prom_out);
+
+  std::cout << "recorded " << report.summary.probes_absorbed << "/"
+            << report.summary.probes_emitted << " probes ("
+            << report.summary.probes_lost << " lost), "
+            << report.summary.hops_observed << " hop samples, "
+            << report.events.size() << " anomalies into " << out_dir << "\n";
+  return 0;
+}
+
+int RunCheck(const std::string& path, std::size_t max_events) {
+  const auto report = LoadReport(path);
+  if (!report) return 1;
+  for (const health::HealthEvent& event : report->events) {
+    std::cout << "anomaly t=" << event.time << " "
+              << health::HealthEventKindName(event.kind) << " ship "
+              << event.ship << ": " << event.detail << "\n";
+  }
+  if (report->events.size() > max_events) {
+    std::cout << "FAIL: " << report->events.size() << " anomalies (max "
+              << max_events << ")\n";
+    return 4;
+  }
+  std::cout << "OK: " << report->events.size() << " anomalies within budget ("
+            << report->ships.size() << " ships scored)\n";
+  return 0;
+}
+
+int RunDiff(const std::string& base_path, const std::string& cur_path,
+            double tolerance) {
+  const auto baseline = LoadReport(base_path);
+  const auto current = LoadReport(cur_path);
+  if (!baseline || !current) return 1;
+  health::HealthDiffOptions options;
+  options.score_tolerance = tolerance;
+  const auto regressions =
+      health::DiffHealthReports(*baseline, *current, options);
+  for (const std::string& r : regressions) std::cout << "REGRESSION: " << r
+                                                     << "\n";
+  if (!regressions.empty()) {
+    std::cout << "FAIL: " << regressions.size() << " regressions\n";
+    return 4;
+  }
+  std::cout << "OK: " << current->ships.size() << " ships within tolerance "
+            << tolerance << "\n";
+  return 0;
+}
+
+int RunBench(const std::string& base_path, const std::string& cur_path,
+             double tolerance) {
+  std::ifstream base_in(base_path), cur_in(cur_path);
+  if (!base_in || !cur_in) {
+    std::cerr << "wnhealth: cannot open "
+              << (!base_in ? base_path : cur_path) << "\n";
+    return 1;
+  }
+  const auto baseline = health::ParseFlatJson(base_in);
+  const auto current = health::ParseFlatJson(cur_in);
+  if (baseline.empty()) {
+    std::cerr << "wnhealth: no metrics in " << base_path << "\n";
+    return 1;
+  }
+  health::BenchGateOptions options;
+  options.tolerance = tolerance;
+  const auto regressions =
+      health::CompareBenchMetrics(baseline, current, options);
+  for (const std::string& r : regressions) std::cout << "REGRESSION: " << r
+                                                     << "\n";
+  if (!regressions.empty()) {
+    std::cout << "FAIL: " << regressions.size() << " regressions\n";
+    return 4;
+  }
+  std::cout << "OK: " << baseline.size() << " baseline metrics within "
+            << tolerance * 100.0 << "%\n";
+  return 0;
+}
+
+double ParseToleranceFlag(int argc, char** argv, int from, double fallback) {
+  for (int i = from; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--tolerance") return std::stod(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record") {
+    const bool degrade = argc > 3 && std::string(argv[3]) == "--degrade";
+    return RunRecord(argv[2], degrade);
+  }
+  if (cmd == "check") {
+    std::size_t max_events = 0;
+    for (int i = 3; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--max-events") {
+        max_events = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+      }
+    }
+    return RunCheck(argv[2], max_events);
+  }
+  if (cmd == "diff") {
+    if (argc < 4) return Usage();
+    return RunDiff(argv[2], argv[3], ParseToleranceFlag(argc, argv, 4, 0.05));
+  }
+  if (cmd == "bench") {
+    if (argc < 4) return Usage();
+    return RunBench(argv[2], argv[3], ParseToleranceFlag(argc, argv, 4, 0.25));
+  }
+  return Usage();
+}

@@ -8,7 +8,9 @@
 //   wnscope filter  <spans-file> <k=v>…  re-emit matching spans as JSONL
 //                                        (component=NAME, ship=N, trace=HEX)
 //   wnscope tree    <spans-file> [HEX]   causal tree(s), one box per trace
-//   wnscope diff    <metrics-a> <metrics-b>  metric-by-metric comparison
+//   wnscope diff    <metrics-a> <metrics-b>  metric-by-metric comparison;
+//                                        exits 0 when identical, 3 when any
+//                                        metric differs (CI-stable contract)
 //
 // Span files may be either the native JSONL or the Chrome trace_event JSON
 // that `record` writes; both parse back identically.
@@ -233,7 +235,9 @@ int RunDiff(const std::string& path_a, const std::string& path_b) {
   }
   table.Print(std::cout);
   std::cout << differing << " of " << names.size() << " metrics differ\n";
-  return 0;
+  // Stable CI contract: 0 = identical, 3 = traces differ (1/2 stay usage
+  // and I/O errors).
+  return 3;
 }
 
 }  // namespace
