@@ -7,6 +7,7 @@
 // enough for a simulator's content store.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -41,5 +42,29 @@ std::string DigestToHex(Digest digest);
 /// *protocol* shape (shared key, tag verify, reject on mismatch) is what the
 /// experiments exercise.
 Digest KeyedTag(std::uint64_t key, std::span<const std::byte> data);
+
+/// Incremental structured hasher for rolling state digests (the flight
+/// recorder's `Digest(Hasher&)` hooks). Subsystems mix their
+/// nondeterminism-relevant state word by word; the order of Mix calls is part
+/// of the digest, so hooks must enumerate state in a deterministic order.
+class Hasher {
+ public:
+  void Mix(std::uint64_t word) { digest_ = HashCombineWord(digest_, word); }
+  void Mix(std::string_view text) {
+    Mix(static_cast<std::uint64_t>(text.size()));
+    digest_ = HashCombine(
+        digest_, std::as_bytes(std::span(text.data(), text.size())));
+  }
+  void MixDouble(double value) { Mix(std::bit_cast<std::uint64_t>(value)); }
+  void MixBytes(std::span<const std::byte> bytes) {
+    Mix(static_cast<std::uint64_t>(bytes.size()));
+    digest_ = HashCombine(digest_, bytes);
+  }
+
+  Digest digest() const { return digest_; }
+
+ private:
+  Digest digest_ = kFnvOffsetBasis;
+};
 
 }  // namespace viator

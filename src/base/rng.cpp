@@ -35,6 +35,7 @@ std::uint64_t Rng::Next() {
   state_[0] ^= state_[3];
   state_[2] ^= t;
   state_[3] = Rotl(state_[3], 45);
+  if (hook_ != nullptr) hook_(hook_ctx_, hook_stream_, result);
   return result;
 }
 

@@ -22,6 +22,23 @@ class Rng {
   /// Next raw 64-bit draw.
   std::uint64_t Next();
 
+  /// Flight-recorder hook: called after every raw draw with the stream label
+  /// and the drawn value. A plain function pointer (not std::function) keeps
+  /// the unhooked path to one predicted branch. The hook must never draw from
+  /// any Rng itself. Fork() children start unhooked; copies inherit the hook.
+  using DrawHook = void (*)(void* ctx, std::uint32_t stream,
+                            std::uint64_t value);
+  void SetDrawHook(DrawHook hook, void* ctx, std::uint32_t stream) {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+    hook_stream_ = stream;
+  }
+  void ClearDrawHook() {
+    hook_ = nullptr;
+    hook_ctx_ = nullptr;
+    hook_stream_ = 0;
+  }
+
   /// Child generator independent of (and not advancing with) this one beyond
   /// the two draws consumed to seed it. Use one fork per replica/subsystem.
   Rng Fork();
@@ -69,6 +86,9 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+  DrawHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
+  std::uint32_t hook_stream_ = 0;
   // Cached Zipf tables keyed by (n, skew); small and replica-local.
   struct ZipfTable {
     std::size_t n;

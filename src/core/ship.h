@@ -118,6 +118,12 @@ class Ship : public vm::Environment {
   /// The ship-local RNG stream (kRandom syscall draws), exposed so a restore
   /// can resume it exactly.
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+  /// Mixes the ship-visible state (identity, RNG stream, workload counters,
+  /// NodeOS role/cache/hardware state) into a rolling state digest
+  /// (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const;
 
   /// Current per-class activity window without draining it.
   const std::unordered_map<int, double>& class_activity() const {

@@ -20,7 +20,11 @@ WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
       overlays_(topology),
       horizontal_(config.horizontal),
       vertical_(config.vertical),
-      resonance_(config.resonance) {}
+      resonance_(config.resonance) {
+  // Past-time schedules are clamped silently by the simulator; surface the
+  // count as a regular metric so exports and gates can watch it.
+  simulator_.BindClampCounter(&stats_.GetCounter("sim.clamped_events"));
+}
 
 Ship& WanderingNetwork::AddShip(net::NodeId node, node::ShipClass ship_class) {
   if (ships_.size() <= node) ships_.resize(node + 1);
@@ -331,6 +335,31 @@ void WanderingNetwork::StartPulse(sim::TimePoint until) {
         }
       },
       "wn.pulse");
+}
+
+void WanderingNetwork::MixDigest(Hasher& hasher) const {
+  for (std::uint64_t word : rng_.SaveState()) hasher.Mix(word);
+  topology_.MixDigest(hasher);
+  fabric_.MixDigest(hasher);
+  hasher.Mix(static_cast<std::uint64_t>(ship_count_));
+  for (const auto& ship : ships_) {
+    if (ship) ship->MixDigest(hasher);
+  }
+  repository_.MixDigest(hasher);
+  hasher.Mix(static_cast<std::uint64_t>(placements_.size()));
+  for (const auto& [function, host] : placements_) {
+    hasher.Mix(function);
+    hasher.Mix(host);
+  }
+  hasher.Mix(static_cast<std::uint64_t>(origins_.size()));
+  for (const auto& [digest, origin] : origins_) {
+    hasher.Mix(digest);
+    hasher.Mix(origin);
+  }
+  hasher.Mix(next_function_id_);
+  hasher.Mix(migrations_executed_);
+  hasher.Mix(functions_emerged_);
+  hasher.Mix(pulses_);
 }
 
 net::NodeId WanderingNetwork::FirstShipNode() const {

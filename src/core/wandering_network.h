@@ -160,6 +160,14 @@ class WanderingNetwork {
   /// Starts the periodic pulse until `until`.
   void StartPulse(sim::TimePoint until);
 
+  /// Mixes the whole network state — RNG streams, fabric accounting,
+  /// topology structure, every ship (node order), placements, repository
+  /// contents and orchestrator counters — into a rolling state digest
+  /// (flight-recorder hook). Deliberately excludes the simulator clock,
+  /// dispatch count and the stats registry so that runs differing only in
+  /// observation probes stay comparable.
+  void MixDigest(Hasher& hasher) const;
+
   // ---- Figure-1 metrics ----
 
   /// Shannon entropy (bits) of the ship-role distribution.
@@ -189,6 +197,7 @@ class WanderingNetwork {
   const FunctionUsageLedger& ledger() const { return ledger_; }
   const WnConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
   FunctionId NextFunctionId() { return next_function_id_++; }
   FunctionId next_function_id() const { return next_function_id_; }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/hash.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "net/topology.h"
@@ -60,6 +61,20 @@ class Fabric {
   /// The loss-process RNG, exposed for snapshot/restore (genesis): the loss
   /// stream must resume exactly for deterministic replay.
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+  /// Mixes the loss-RNG state and transmission accounting into a rolling
+  /// state digest (flight-recorder hook). Deliberately excludes per-direction
+  /// queue state, which is transient in-flight detail.
+  void MixDigest(Hasher& hasher) const {
+    for (std::uint64_t word : rng_.SaveState()) hasher.Mix(word);
+    hasher.Mix(static_cast<std::uint64_t>(link_bytes_.size()));
+    for (std::uint64_t bytes : link_bytes_) hasher.Mix(bytes);
+    hasher.Mix(frames_delivered_);
+    hasher.Mix(frames_dropped_);
+    hasher.Mix(bytes_sent_);
+    hasher.Mix(next_frame_id_);
+  }
 
   /// Restores transmission accounting from a snapshot. Only meaningful on a
   /// quiescent fabric (no frames in flight); per-direction queue state is

@@ -153,6 +153,19 @@ bool Topology::IsConnected() const {
   return reached == up_nodes;
 }
 
+void Topology::MixDigest(Hasher& hasher) const {
+  hasher.Mix(static_cast<std::uint64_t>(node_count_));
+  hasher.Mix(static_cast<std::uint64_t>(links_.size()));
+  for (const Link& link : links_) {
+    hasher.Mix(link.a);
+    hasher.Mix(link.b);
+    hasher.Mix(link.up ? 1u : 0u);
+  }
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    hasher.Mix(node_up_[n] ? 1u : 0u);
+  }
+}
+
 // ---- Generators -----------------------------------------------------------
 
 Topology MakeLine(std::size_t n, const LinkConfig& config) {

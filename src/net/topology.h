@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/hash.h"
 #include "base/rng.h"
 #include "net/types.h"
 #include "sim/time.h"
@@ -74,6 +75,10 @@ class Topology {
 
   /// True when every node can reach every other over up links.
   bool IsConnected() const;
+
+  /// Mixes the structural state (node/link counts, endpoints, up flags) into
+  /// a rolling state digest (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const;
 
  private:
   std::size_t node_count_ = 0;

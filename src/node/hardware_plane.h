@@ -97,6 +97,19 @@ class HardwarePlane {
     reconfigurations_ = count;
   }
 
+  /// Mixes gate usage, slot occupancy and activation flags into a rolling
+  /// state digest (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const {
+    hasher.Mix(gates_used_);
+    hasher.Mix(reconfigurations_);
+    hasher.Mix(static_cast<std::uint64_t>(occupied_.size()));
+    for (const Slot& slot : occupied_) {
+      hasher.Mix(slot.module.module_id);
+      hasher.Mix(slot.module.driver_digest);
+      hasher.Mix(slot.driver_active ? 1u : 0u);
+    }
+  }
+
  private:
   sim::Duration InstallLatency(std::uint32_t gates) const;
 

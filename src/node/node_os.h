@@ -100,6 +100,7 @@ class NodeOs {
   Result<Digest> AdmitProgram(const vm::Program& program);
 
   vm::CodeCache& code_cache() { return code_cache_; }
+  const vm::CodeCache& code_cache() const { return code_cache_; }
   HardwarePlane& hardware() { return hardware_; }
   const HardwarePlane& hardware() const { return hardware_; }
   ResourceAccountant& resources() { return accountant_; }
@@ -108,6 +109,20 @@ class NodeOs {
   /// Docks a netbot: installs its module, admits the carried driver, then
   /// activates the module (one transaction, per the paper's "docking time").
   Result<sim::Duration> DockNetbot(const Netbot& netbot);
+
+  /// Mixes role state, EE registry shape, code-cache residency and hardware
+  /// plane occupancy into a rolling state digest (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const {
+    hasher.Mix(static_cast<std::uint64_t>(current_role_));
+    hasher.Mix(static_cast<std::uint64_t>(next_step_));
+    hasher.Mix(role_switches_);
+    hasher.Mix(static_cast<std::uint64_t>(ees_.size()));
+    for (const auto& [cls, ee] : ees_) {
+      hasher.Mix(static_cast<std::uint64_t>(cls));
+    }
+    code_cache_.MixDigest(hasher);
+    hardware_.MixDigest(hasher);
+  }
 
  private:
   sim::Duration SwitchLatency(SwitchMechanism mechanism) const;

@@ -1,0 +1,205 @@
+#include "replay/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/wandering_network.h"
+#include "telemetry/span.h"
+
+namespace viator::replay {
+
+namespace {
+
+std::string OwnerOf(const JournalRecord& record) {
+  switch (record.kind) {
+    case RecordKind::kRngDraw: return StreamName(record.stream);
+    case RecordKind::kDispatch: return "simulator";
+    case RecordKind::kWindowHash: return "journal";
+    case RecordKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::string KindName(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kRngDraw: return "rng draw";
+    case RecordKind::kDispatch: return "dispatch";
+    case RecordKind::kWindowHash: return "window hash";
+    case RecordKind::kNote: return "note";
+  }
+  return "record";
+}
+
+std::string Hex(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+DivergenceReport DivergenceAuditor::Compare(const DecisionJournal& a,
+                                            const DecisionJournal& b) {
+  DivergenceReport report;
+  if (a.total_records() == b.total_records() &&
+      a.rolling_digest() == b.rolling_digest()) {
+    Summarize(report);
+    return report;
+  }
+  report.diverged = true;
+
+  // Stage 1: binary search the per-step state hashes for the first
+  // divergent step. Divergence is monotone (the hash mixes raw RNG states),
+  // so "hashes differ at step i" is a sorted predicate.
+  const auto& wa = a.window_hashes();
+  const auto& wb = b.window_hashes();
+  const std::size_t n = std::min(wa.size(), wb.size());
+  if (n > 0 && wa[n - 1] != wb[n - 1]) {
+    std::size_t lo = 0;
+    std::size_t hi = n - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (wa[mid] != wb[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    report.first_divergent_step = wa[lo].first;
+  } else if (wa.size() != wb.size()) {
+    // Identical while both ran; one run simply has more steps.
+    report.first_divergent_step =
+        n < wa.size() ? wa[n].first : wb[n].first;
+  }
+
+  // Stage 2 (best effort without re-execution): align the rings on global
+  // append indices and scan for the first differing decision. Misses only
+  // when the divergence has already wrapped out of both rings.
+  const std::uint64_t start_a = a.total_records() - a.size();
+  const std::uint64_t start_b = b.total_records() - b.size();
+  const std::uint64_t start = std::max(start_a, start_b);
+  const std::uint64_t end = std::min(a.total_records(), b.total_records());
+  for (std::uint64_t g = start; g < end; ++g) {
+    const JournalRecord& ra = a.at(static_cast<std::size_t>(g - start_a));
+    const JournalRecord& rb = b.at(static_cast<std::size_t>(g - start_b));
+    if (!ra.SameDecision(rb)) {
+      report.refined = true;
+      report.record_index = g;
+      report.lhs = ra;
+      report.rhs = rb;
+      report.owner = OwnerOf(ra);
+      break;
+    }
+  }
+  Summarize(report);
+  return report;
+}
+
+Result<DivergenceReport> DivergenceAuditor::Bisect(ReplayController& a,
+                                                   ReplayController& b) {
+  DivergenceReport report =
+      Compare(a.recorded().journal(), b.recorded().journal());
+  if (!report.diverged || report.first_divergent_step == 0) {
+    return report;
+  }
+  const auto step = static_cast<std::size_t>(report.first_divergent_step);
+
+  // Travel both runs to just before the divergent step (checkpoint restore
+  // + bounded re-execution), then re-execute the step and diff the freshly
+  // captured decisions.
+  if (auto status = a.SeekToStep(step - 1); !status.ok()) return status;
+  if (auto status = b.SeekToStep(step - 1); !status.ok()) return status;
+  ReplayWorld& world_a = *a.cursor();
+  ReplayWorld& world_b = *b.cursor();
+  const std::uint64_t base_a = world_a.journal().total_records();
+  const std::uint64_t base_b = world_b.journal().total_records();
+  world_a.RunToStep(step);
+  world_b.RunToStep(step);
+  const std::uint64_t appended_a =
+      world_a.journal().total_records() - base_a;
+  const std::uint64_t appended_b =
+      world_b.journal().total_records() - base_b;
+  const std::uint64_t common = std::min(appended_a, appended_b);
+
+  report.refined = false;
+  for (std::uint64_t i = 0; i < common; ++i) {
+    const JournalRecord& ra = world_a.journal().at(
+        world_a.journal().size() - static_cast<std::size_t>(appended_a) +
+        static_cast<std::size_t>(i));
+    const JournalRecord& rb = world_b.journal().at(
+        world_b.journal().size() - static_cast<std::size_t>(appended_b) +
+        static_cast<std::size_t>(i));
+    if (!ra.SameDecision(rb)) {
+      report.refined = true;
+      report.record_index = i;
+      report.lhs = ra;
+      report.rhs = rb;
+      report.owner = OwnerOf(ra);
+      break;
+    }
+  }
+  if (!report.refined && appended_a != appended_b) {
+    // One run made extra decisions at the end of the step.
+    const bool a_longer = appended_a > appended_b;
+    const DecisionJournal& longer =
+        a_longer ? world_a.journal() : world_b.journal();
+    const std::uint64_t appended = std::max(appended_a, appended_b);
+    const JournalRecord& record = longer.at(
+        longer.size() - static_cast<std::size_t>(appended) +
+        static_cast<std::size_t>(common));
+    report.refined = true;
+    report.record_index = common;
+    if (a_longer) {
+      report.lhs = record;
+    } else {
+      report.rhs = record;
+    }
+    report.owner = OwnerOf(record);
+  }
+
+  // Observatory join: the span covering the divergence time in the suspect
+  // (rhs) run, innermost first.
+  if (report.refined) {
+    const sim::TimePoint t =
+        report.rhs.time != 0 ? report.rhs.time : report.lhs.time;
+    const telemetry::SpanRecord* best = nullptr;
+    for (const auto& span :
+         world_b.network().telemetry().spans().spans()) {
+      if (span.start <= t && t <= span.end) {
+        if (best == nullptr || span.start >= best->start) best = &span;
+      }
+    }
+    if (best != nullptr) {
+      report.span_component = best->component;
+      report.span_name = best->name;
+      report.span_ship = best->ship;
+    }
+  }
+  Summarize(report);
+  return report;
+}
+
+void DivergenceAuditor::Summarize(DivergenceReport& report) {
+  if (!report.diverged) {
+    report.summary = "runs are identical (journal digests match)";
+    return;
+  }
+  std::string text =
+      "first divergence at step " +
+      std::to_string(report.first_divergent_step);
+  if (report.refined) {
+    text += ", decision " + std::to_string(report.record_index) + " (" +
+            report.owner + "): " + KindName(report.lhs.kind) + " t=" +
+            std::to_string(report.lhs.time) + " " + Hex(report.lhs.a) +
+            " vs " + Hex(report.rhs.a);
+  }
+  if (!report.span_component.empty()) {
+    text += "; within span " + report.span_component + "/" +
+            report.span_name + " on ship " +
+            std::to_string(report.span_ship);
+  }
+  report.summary = text;
+}
+
+}  // namespace viator::replay

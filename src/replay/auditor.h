@@ -1,0 +1,73 @@
+// Divergence audit: find the first decision where two runs part ways.
+//
+// Two journals of the same scenario (run vs run, build vs build, probes-on
+// vs probes-off) are compared in two stages. First, a binary search over
+// the per-step state hashes finds the first divergent step — valid because
+// divergence is monotone: the state hash mixes every RNG stream's raw
+// state, so once one extra or different draw happens the hashes never
+// re-converge. Second, the divergent step is re-executed on both sides from
+// the nearest genesis checkpoint (checkpoint-assisted bisection), and the
+// freshly captured records are compared pairwise to pin the exact first
+// divergent decision — which draw, on whose stream, at what virtual time.
+// When Observatory tracing is on, the report joins that decision to the
+// span covering it, naming the component and ship whose work diverged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "replay/controller.h"
+#include "replay/journal.h"
+
+namespace viator::replay {
+
+struct DivergenceReport {
+  bool diverged = false;
+
+  /// First step whose end-of-step state hashes differ (1-based; 0 when the
+  /// runs never produced comparable hashes).
+  std::uint64_t first_divergent_step = 0;
+
+  /// Set when record-level refinement located the exact decision.
+  bool refined = false;
+  JournalRecord lhs{};
+  JournalRecord rhs{};
+  /// Zero-based index of the divergent decision: global append index for
+  /// Compare(), index within the re-executed step for Bisect().
+  std::uint64_t record_index = 0;
+  /// Owning stream of the divergent decision ("network", "fabric",
+  /// "ship 3", or "simulator" for dispatch-order divergence).
+  std::string owner;
+
+  /// Observatory join: the span covering the divergence time (empty when
+  /// tracing was off or no span covers it).
+  std::string span_component;
+  std::string span_name;
+  std::uint64_t span_ship = 0;
+
+  /// One-line human-readable account.
+  std::string summary;
+};
+
+class DivergenceAuditor {
+ public:
+  /// Pure journal comparison, no re-execution: binary-searches the window
+  /// hashes for the first divergent step and refines to the exact record
+  /// when the rings still hold that span. Works on deserialized journals.
+  static DivergenceReport Compare(const DecisionJournal& a,
+                                  const DecisionJournal& b);
+
+  /// Checkpoint-assisted bisection: Compare() both recorded runs, then seek
+  /// both controllers to just before the first divergent step, re-execute it
+  /// and diff the freshly captured records. Both controllers must have
+  /// RecordFull() done. The exact divergent decision is always found (the
+  /// re-executed step cannot have wrapped out of the ring).
+  static Result<DivergenceReport> Bisect(ReplayController& a,
+                                         ReplayController& b);
+
+ private:
+  static void Summarize(DivergenceReport& report);
+};
+
+}  // namespace viator::replay

@@ -1,0 +1,158 @@
+#include "replay/controller.h"
+
+#include <cstdlib>
+
+namespace viator::replay {
+
+Result<Watchpoint> Watchpoint::Parse(const std::string& spec) {
+  Watchpoint watch;
+  std::string rest = spec;
+  if (rest.rfind("counter:", 0) == 0) {
+    watch.kind = Kind::kCounter;
+    rest = rest.substr(8);
+  } else if (rest.rfind("gauge:", 0) == 0) {
+    watch.kind = Kind::kGauge;
+    rest = rest.substr(6);
+  }
+  struct OpSpec {
+    const char* text;
+    Op op;
+  };
+  static constexpr OpSpec kOps[] = {
+      {">=", Op::kGe}, {"<=", Op::kLe}, {"==", Op::kEq}, {"!=", Op::kNe}};
+  std::size_t pos = std::string::npos;
+  Op op = Op::kGe;
+  for (const OpSpec& candidate : kOps) {
+    const std::size_t at = rest.find(candidate.text);
+    if (at != std::string::npos && at < pos) {
+      pos = at;
+      op = candidate.op;
+    }
+  }
+  if (pos == std::string::npos || pos == 0) {
+    return InvalidArgument("watchpoint spec needs <metric><op><value> with "
+                           "op one of >= <= == != : " + spec);
+  }
+  watch.metric = rest.substr(0, pos);
+  watch.op = op;
+  const std::string number = rest.substr(pos + 2);
+  char* end = nullptr;
+  watch.value = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') {
+    return InvalidArgument("watchpoint value not a number: " + number);
+  }
+  return watch;
+}
+
+bool Watchpoint::Evaluate(double observed) const {
+  switch (op) {
+    case Op::kGe: return observed >= value;
+    case Op::kLe: return observed <= value;
+    case Op::kEq: return observed == value;
+    case Op::kNe: return observed != value;
+  }
+  return false;
+}
+
+ReplayController::ReplayController(const ScenarioConfig& config)
+    : config_(config) {}
+
+void ReplayController::RecordFull() {
+  recorded_ = std::make_unique<ReplayWorld>(config_, /*populate=*/true,
+                                            /*keep_checkpoints=*/true);
+  recorded_->RunToStep(config_.steps);
+}
+
+std::optional<std::uint64_t> ReplayController::RecordedWindowHash(
+    std::size_t step) const {
+  if (recorded_ == nullptr) return std::nullopt;
+  for (const auto& [window, hash] : recorded_->journal().window_hashes()) {
+    if (window == step) return hash;
+  }
+  return std::nullopt;
+}
+
+Status ReplayController::SeekToStep(std::size_t step) {
+  if (recorded_ == nullptr) {
+    return FailedPrecondition("RecordFull() before seeking");
+  }
+  if (step > config_.steps) {
+    return InvalidArgument("seek target beyond scenario end");
+  }
+  const ReplayWorld::Checkpoint* best = nullptr;
+  for (const auto& checkpoint : recorded_->checkpoints()) {
+    if (checkpoint.step <= step &&
+        (best == nullptr || checkpoint.step > best->step)) {
+      best = &checkpoint;
+    }
+  }
+  if (best != nullptr) {
+    cursor_ = std::make_unique<ReplayWorld>(config_, /*populate=*/false,
+                                            /*keep_checkpoints=*/false);
+    if (auto status = cursor_->RestoreFromCheckpoint(*best); !status.ok()) {
+      return status;
+    }
+  } else {
+    cursor_ = std::make_unique<ReplayWorld>(config_, /*populate=*/true,
+                                            /*keep_checkpoints=*/false);
+  }
+  cursor_->RunToStep(step);
+  return OkStatus();
+}
+
+Status ReplayController::VerifySeek() const {
+  if (cursor_ == nullptr) return FailedPrecondition("no replay cursor");
+  const std::size_t step = cursor_->step();
+  if (step == 0) return OkStatus();
+  const auto expected = RecordedWindowHash(step);
+  if (!expected.has_value()) {
+    return FailedPrecondition("recorded run has no state hash for step " +
+                              std::to_string(step));
+  }
+  if (cursor_->StateHash() != *expected) {
+    return Internal("replay left the recorded timeline at step " +
+                    std::to_string(step));
+  }
+  return OkStatus();
+}
+
+std::optional<sim::TimePoint> ReplayController::StepDispatch() {
+  if (cursor_ == nullptr) return std::nullopt;
+  ReplayWorld& world = *cursor_;
+  while (!world.simulator().NextEventTime().has_value()) {
+    if (world.step_open()) {
+      world.FinishStep();
+      continue;
+    }
+    if (world.step() >= config_.steps) return std::nullopt;
+    world.BeginStep();
+  }
+  const auto when = world.simulator().NextEventTime();
+  world.StepEvent();
+  return when;
+}
+
+Result<WatchHit> ReplayController::RunUntilWatch(const Watchpoint& watch) {
+  if (cursor_ == nullptr) {
+    if (auto status = SeekToStep(0); !status.ok()) return status;
+  }
+  while (auto when = StepDispatch()) {
+    const double observed = ReadMetric(watch);
+    if (watch.Evaluate(observed)) {
+      return WatchHit{cursor_->step(), *when, observed};
+    }
+  }
+  return NotFound("watchpoint never fired");
+}
+
+double ReplayController::ReadMetric(const Watchpoint& watch) {
+  sim::StatsRegistry& stats = cursor_->network().stats();
+  if (watch.kind == Watchpoint::Kind::kCounter) {
+    return static_cast<double>(stats.CounterValue(watch.metric));
+  }
+  const auto& gauges = stats.gauges();
+  const auto it = gauges.find(watch.metric);
+  return it == gauges.end() ? 0.0 : it->second.value();
+}
+
+}  // namespace viator::replay

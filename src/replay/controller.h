@@ -1,0 +1,101 @@
+// Time-travel replay: seek, single-step and metric watchpoints.
+//
+// A ReplayController records one scenario run start to finish (journal +
+// genesis checkpoint ring), then positions a replay cursor at any completed
+// step by restoring the nearest checkpoint at-or-before the target and
+// re-executing the remaining steps — O(checkpoint cadence) work instead of
+// O(run length). The cursor world is a full live simulation: it can be
+// single-stepped one simulator dispatch at a time, and every re-executed
+// step re-captures the per-step state hash, which VerifySeek() compares
+// against the recorded run (the proof that the travel landed on the same
+// timeline).
+//
+// Watchpoints break re-execution when a StatsRegistry metric crosses a
+// predicate — "stop when wn.shuttles_delivered >= 40" — evaluated after
+// every dispatched event, which pins the exact (step, virtual time) where a
+// metric first misbehaved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "replay/scenario.h"
+#include "sim/time.h"
+
+namespace viator::replay {
+
+/// Break condition over a StatsRegistry counter or gauge.
+struct Watchpoint {
+  enum class Kind { kCounter, kGauge };
+  enum class Op { kGe, kLe, kEq, kNe };
+
+  std::string metric;
+  Kind kind = Kind::kCounter;
+  Op op = Op::kGe;
+  double value = 0.0;
+
+  /// Parses "counter:name>=42" / "gauge:name<=0.5" (ops: >=, <=, ==, !=).
+  static Result<Watchpoint> Parse(const std::string& spec);
+
+  bool Evaluate(double observed) const;
+};
+
+/// Where a watchpoint fired.
+struct WatchHit {
+  std::size_t step = 0;       // scenario step that was executing
+  sim::TimePoint time = 0;    // virtual time of the triggering dispatch
+  double observed = 0.0;      // metric value at the break
+};
+
+class ReplayController {
+ public:
+  explicit ReplayController(const ScenarioConfig& config);
+
+  /// Runs the scenario start to finish on the recording world.
+  void RecordFull();
+
+  ReplayWorld& recorded() { return *recorded_; }
+  const ReplayWorld& recorded() const { return *recorded_; }
+
+  /// Recorded per-step state hash (nullopt when the step was never run).
+  std::optional<std::uint64_t> RecordedWindowHash(std::size_t step) const;
+
+  // ---- Time travel ----
+
+  /// Positions the replay cursor at completed step `step` (0 = fresh start):
+  /// restores the nearest checkpoint at-or-before it, then re-executes.
+  Status SeekToStep(std::size_t step);
+
+  /// The cursor world; nullptr before the first SeekToStep().
+  ReplayWorld* cursor() { return cursor_.get(); }
+
+  /// Compares the cursor's state hash with the recorded hash at the cursor
+  /// step. kInternal on mismatch — the replay left the recorded timeline.
+  Status VerifySeek() const;
+
+  // ---- Single-step ----
+
+  /// Executes exactly one simulator dispatch on the cursor, opening the next
+  /// scenario step when the queue is drained. Returns the dispatch time, or
+  /// nullopt when the scenario is exhausted.
+  std::optional<sim::TimePoint> StepDispatch();
+
+  // ---- Watchpoints ----
+
+  /// Re-executes from the cursor position (SeekToStep first to choose the
+  /// origin) until the watchpoint fires or the scenario ends.
+  Result<WatchHit> RunUntilWatch(const Watchpoint& watch);
+
+ private:
+  double ReadMetric(const Watchpoint& watch);
+
+  ScenarioConfig config_;
+  std::unique_ptr<ReplayWorld> recorded_;
+  std::unique_ptr<ReplayWorld> cursor_;
+};
+
+}  // namespace viator::replay

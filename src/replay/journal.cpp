@@ -1,0 +1,234 @@
+#include "replay/journal.h"
+
+#include <cstring>
+
+#include "base/tlv.h"
+#include "core/wandering_network.h"
+
+namespace viator::replay {
+
+namespace {
+
+// Journal TLV tags.
+constexpr TlvTag kTagCapacity = 1;
+constexpr TlvTag kTagTotalRecords = 2;
+constexpr TlvTag kTagRollingDigest = 3;
+constexpr TlvTag kTagRecords = 4;
+constexpr TlvTag kTagWindowHashes = 5;
+
+void AppendWord(std::vector<std::byte>& out, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((word >> (8 * i)) & 0xFF));
+  }
+}
+
+Result<std::uint64_t> ReadWord(std::span<const std::byte> bytes,
+                               std::size_t& cursor) {
+  if (cursor + 8 > bytes.size()) {
+    return InvalidArgument("journal blob truncated");
+  }
+  std::uint64_t word = 0;
+  for (int i = 0; i < 8; ++i) {
+    word |= static_cast<std::uint64_t>(bytes[cursor + i]) << (8 * i);
+  }
+  cursor += 8;
+  return word;
+}
+
+}  // namespace
+
+std::string StreamName(std::uint32_t stream) {
+  if (stream == kStreamNetwork) return "network";
+  if (stream == kStreamFabric) return "fabric";
+  return "ship " + std::to_string(stream - kStreamShipBase);
+}
+
+DecisionJournal::DecisionJournal(JournalConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.reserve(config_.capacity);
+}
+
+void DecisionJournal::Attach(wli::WanderingNetwork& network) {
+  network_ = &network;
+  network.rng().SetDrawHook(&DrawTrampoline, this, kStreamNetwork);
+  network.fabric().rng().SetDrawHook(&DrawTrampoline, this, kStreamFabric);
+  network.ForEachShip([this](wli::Ship& ship) {
+    ship.rng().SetDrawHook(&DrawTrampoline, this,
+                           kStreamShipBase + ship.id());
+  });
+  network.simulator().SetDispatchHook(&DispatchTrampoline, this);
+}
+
+void DecisionJournal::Detach() {
+  if (network_ == nullptr) return;
+  network_->rng().ClearDrawHook();
+  network_->fabric().rng().ClearDrawHook();
+  network_->ForEachShip([](wli::Ship& ship) { ship.rng().ClearDrawHook(); });
+  network_->simulator().SetDispatchHook(nullptr, nullptr);
+  network_ = nullptr;
+}
+
+void DecisionJournal::RecordDraw(std::uint32_t stream, std::uint64_t value) {
+  const sim::TimePoint now =
+      network_ != nullptr ? network_->simulator().now() : 0;
+  Append(RecordKind::kRngDraw, stream, now, value);
+}
+
+void DecisionJournal::RecordDispatch(sim::TimePoint when, std::uint64_t seq) {
+  Append(RecordKind::kDispatch, 0, when, seq);
+}
+
+void DecisionJournal::RecordNote(std::string_view text) {
+  Hasher hasher;
+  hasher.Mix(text);
+  const sim::TimePoint now =
+      network_ != nullptr ? network_->simulator().now() : 0;
+  Append(RecordKind::kNote, 0, now, hasher.digest());
+}
+
+std::uint64_t DecisionJournal::CaptureWindowHash(std::uint64_t window) {
+  if (network_ == nullptr) return 0;
+  Hasher hasher;
+  network_->MixDigest(hasher);
+  const std::uint64_t hash = hasher.digest();
+  Append(RecordKind::kWindowHash, static_cast<std::uint32_t>(window),
+         network_->simulator().now(), hash);
+  window_hashes_.emplace_back(window, hash);
+  return hash;
+}
+
+const JournalRecord& DecisionJournal::at(std::size_t index) const {
+  return ring_[(head_ + index) % ring_.size()];
+}
+
+void DecisionJournal::Append(RecordKind kind, std::uint32_t stream,
+                             sim::TimePoint time, std::uint64_t a) {
+  rolling_digest_ =
+      HashCombineWord(rolling_digest_, static_cast<std::uint64_t>(kind));
+  rolling_digest_ = HashCombineWord(rolling_digest_, stream);
+  rolling_digest_ =
+      HashCombineWord(rolling_digest_, static_cast<std::uint64_t>(time));
+  rolling_digest_ = HashCombineWord(rolling_digest_, a);
+  JournalRecord record{kind, stream, time, a, rolling_digest_};
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(record);
+  } else {
+    ring_[head_] = record;
+    head_ = (head_ + 1) % config_.capacity;
+  }
+  ++total_records_;
+}
+
+void DecisionJournal::DrawTrampoline(void* ctx, std::uint32_t stream,
+                                     std::uint64_t value) {
+  static_cast<DecisionJournal*>(ctx)->RecordDraw(stream, value);
+}
+
+void DecisionJournal::DispatchTrampoline(void* ctx, sim::TimePoint when,
+                                         std::uint64_t seq) {
+  static_cast<DecisionJournal*>(ctx)->RecordDispatch(when, seq);
+}
+
+std::vector<std::byte> DecisionJournal::Save() const {
+  TlvWriter writer;
+  writer.PutU64(kTagCapacity, config_.capacity);
+  writer.PutU64(kTagTotalRecords, total_records_);
+  writer.PutU64(kTagRollingDigest, rolling_digest_);
+
+  std::vector<std::byte> records;
+  records.reserve(ring_.size() * 40);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const JournalRecord& record = at(i);
+    AppendWord(records, static_cast<std::uint64_t>(record.kind));
+    AppendWord(records, record.stream);
+    AppendWord(records, static_cast<std::uint64_t>(record.time));
+    AppendWord(records, record.a);
+    AppendWord(records, record.digest);
+  }
+  writer.PutBytes(kTagRecords, records);
+
+  std::vector<std::byte> windows;
+  windows.reserve(window_hashes_.size() * 16);
+  for (const auto& [window, hash] : window_hashes_) {
+    AppendWord(windows, window);
+    AppendWord(windows, hash);
+  }
+  writer.PutBytes(kTagWindowHashes, windows);
+  return writer.Finish();
+}
+
+Status DecisionJournal::Load(std::span<const std::byte> payload) {
+  TlvReader reader(payload);
+  if (auto status = reader.Verify(); !status.ok()) return status;
+
+  std::vector<JournalRecord> ring;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+  std::uint64_t capacity = config_.capacity;
+  std::uint64_t total = 0;
+  std::uint64_t digest = kFnvOffsetBasis;
+
+  while (reader.HasNext()) {
+    auto record = reader.Next();
+    if (!record.ok()) return record.status();
+    switch (record->tag) {
+      case kTagCapacity:
+        capacity = record->AsU64();
+        break;
+      case kTagTotalRecords:
+        total = record->AsU64();
+        break;
+      case kTagRollingDigest:
+        digest = record->AsU64();
+        break;
+      case kTagRecords: {
+        std::size_t cursor = 0;
+        while (cursor < record->payload.size()) {
+          JournalRecord entry;
+          auto kind = ReadWord(record->payload, cursor);
+          auto stream = ReadWord(record->payload, cursor);
+          auto time = ReadWord(record->payload, cursor);
+          auto a = ReadWord(record->payload, cursor);
+          auto entry_digest = ReadWord(record->payload, cursor);
+          if (!kind.ok() || !stream.ok() || !time.ok() || !a.ok() ||
+              !entry_digest.ok()) {
+            return InvalidArgument("journal records blob truncated");
+          }
+          entry.kind = static_cast<RecordKind>(*kind);
+          entry.stream = static_cast<std::uint32_t>(*stream);
+          entry.time = static_cast<sim::TimePoint>(*time);
+          entry.a = *a;
+          entry.digest = *entry_digest;
+          ring.push_back(entry);
+        }
+        break;
+      }
+      case kTagWindowHashes: {
+        std::size_t cursor = 0;
+        while (cursor < record->payload.size()) {
+          auto window = ReadWord(record->payload, cursor);
+          auto hash = ReadWord(record->payload, cursor);
+          if (!window.ok() || !hash.ok()) {
+            return InvalidArgument("journal window blob truncated");
+          }
+          windows.emplace_back(*window, *hash);
+        }
+        break;
+      }
+      default:
+        break;  // forward compatibility: ignore unknown tags
+    }
+  }
+
+  if (capacity == 0 || ring.size() > capacity || total < ring.size()) {
+    return InvalidArgument("journal payload inconsistent");
+  }
+  config_.capacity = static_cast<std::size_t>(capacity);
+  ring_ = std::move(ring);
+  head_ = 0;
+  total_records_ = total;
+  rolling_digest_ = digest;
+  window_hashes_ = std::move(windows);
+  return OkStatus();
+}
+
+}  // namespace viator::replay

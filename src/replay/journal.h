@@ -1,0 +1,167 @@
+// Wandering Flight Recorder — the always-on decision journal.
+//
+// A DecisionJournal is a bounded ring of compact records capturing every
+// nondeterminism-relevant point of a run: raw RNG draws (labelled by stream:
+// 0 = network orchestrator, 1 = fabric loss process, 2+node = ship-local),
+// simulator dispatch order (time, seq) and per-step rolling state hashes
+// computed from the MixDigest(Hasher&) hooks across core/net/vm/node/
+// services. Recording is append-plus-hash only — the hooks never draw from
+// any RNG and never touch simulation state, so a journaled run makes
+// bit-identical decisions to an unjournaled one (replay neutrality).
+//
+// The ring bounds memory for arbitrarily long runs; the per-step window
+// hashes are kept separately and unbounded (one 16-byte entry per step), so
+// divergence bisection still works after the ring has wrapped. The journal
+// serializes through the TLV layer and rides in genesis snapshots as an
+// extra section (JournalSection), which is what lets time-travel replay
+// resume the record stream from any checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "genesis/snapshot.h"
+#include "genesis/snapshotable.h"
+#include "sim/time.h"
+
+namespace viator::wli {
+class WanderingNetwork;
+}
+
+namespace viator::replay {
+
+/// RNG stream labels (the `stream` field of draw records).
+inline constexpr std::uint32_t kStreamNetwork = 0;
+inline constexpr std::uint32_t kStreamFabric = 1;
+/// Ship streams are kStreamShipBase + node id.
+inline constexpr std::uint32_t kStreamShipBase = 2;
+
+/// Human name for a stream label ("network", "fabric", "ship 3").
+std::string StreamName(std::uint32_t stream);
+
+enum class RecordKind : std::uint8_t {
+  kRngDraw = 1,     // a = drawn value
+  kDispatch = 2,    // a = event seq
+  kWindowHash = 3,  // stream = window index (steps), a = state hash
+  kNote = 4,        // a = FNV-1a hash of the note text
+};
+
+/// One journal entry. `digest` is the rolling journal digest *after* this
+/// record — two journals with equal digests at a record agree on the entire
+/// decision history up to it.
+struct JournalRecord {
+  RecordKind kind = RecordKind::kNote;
+  std::uint32_t stream = 0;
+  sim::TimePoint time = 0;
+  std::uint64_t a = 0;
+  std::uint64_t digest = 0;
+
+  bool SameDecision(const JournalRecord& other) const {
+    return kind == other.kind && stream == other.stream &&
+           time == other.time && a == other.a;
+  }
+};
+
+struct JournalConfig {
+  /// Ring capacity in records; the oldest records are overwritten past it.
+  std::size_t capacity = 1 << 16;
+};
+
+class DecisionJournal {
+ public:
+  explicit DecisionJournal(JournalConfig config = {});
+
+  /// Installs the draw hooks (network/fabric/ship RNG streams) and the
+  /// simulator dispatch hook on `network`. Call again after a genesis
+  /// restore — restored ships are fresh objects with unhooked RNGs.
+  void Attach(wli::WanderingNetwork& network);
+
+  /// Removes every hook installed by Attach().
+  void Detach();
+
+  // ---- Recording (called by the hooks; also usable directly) ----
+
+  void RecordDraw(std::uint32_t stream, std::uint64_t value);
+  void RecordDispatch(sim::TimePoint when, std::uint64_t seq);
+  void RecordNote(std::string_view text);
+
+  /// Hashes the attached network's full state (MixDigest) and appends a
+  /// window-hash record for step `window`. Returns the state hash.
+  std::uint64_t CaptureWindowHash(std::uint64_t window);
+
+  // ---- Inspection ----
+
+  /// Records currently in the ring, oldest first.
+  std::size_t size() const { return ring_.size(); }
+  const JournalRecord& at(std::size_t index) const;
+
+  /// Total records ever appended (including those the ring has dropped).
+  std::uint64_t total_records() const { return total_records_; }
+  std::uint64_t dropped_records() const {
+    return total_records_ - ring_.size();
+  }
+
+  /// Rolling FNV-1a digest over every record ever appended.
+  std::uint64_t rolling_digest() const { return rolling_digest_; }
+
+  /// Per-step state hashes: (window index, hash), append-ordered. Unbounded
+  /// — survives ring wrap, which is what bisection searches over.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& window_hashes()
+      const {
+    return window_hashes_;
+  }
+
+  std::size_t capacity() const { return config_.capacity; }
+  bool attached() const { return network_ != nullptr; }
+
+  // ---- Serialization (TLV; also the genesis section payload) ----
+
+  std::vector<std::byte> Save() const;
+  Status Load(std::span<const std::byte> payload);
+
+ private:
+  void Append(RecordKind kind, std::uint32_t stream, sim::TimePoint time,
+              std::uint64_t a);
+
+  static void DrawTrampoline(void* ctx, std::uint32_t stream,
+                             std::uint64_t value);
+  static void DispatchTrampoline(void* ctx, sim::TimePoint when,
+                                 std::uint64_t seq);
+
+  JournalConfig config_;
+  wli::WanderingNetwork* network_ = nullptr;
+
+  std::vector<JournalRecord> ring_;  // ring buffer, head_ = oldest
+  std::size_t head_ = 0;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t rolling_digest_ = kFnvOffsetBasis;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> window_hashes_;
+};
+
+/// Rides the journal in genesis snapshots (extra section), so a restored
+/// checkpoint resumes the decision history exactly where it was captured.
+class JournalSection : public genesis::Snapshotable {
+ public:
+  explicit JournalSection(DecisionJournal& journal,
+                          std::uint32_t id = genesis::kExtraSectionBase + 6)
+      : journal_(journal), id_(id) {}
+
+  std::uint32_t section_id() const override { return id_; }
+  std::string section_name() const override { return "decision-journal"; }
+  std::vector<std::byte> Save() const override { return journal_.Save(); }
+  Status Load(std::span<const std::byte> payload) override {
+    return journal_.Load(payload);
+  }
+
+ private:
+  DecisionJournal& journal_;
+  std::uint32_t id_;
+};
+
+}  // namespace viator::replay

@@ -91,6 +91,25 @@ class DistanceVectorRouter {
     dropped_no_route_ = dropped_no_route;
   }
 
+  /// Mixes routing tables and control accounting into a rolling state digest
+  /// (flight-recorder hook). Route expiries are virtual-time values and thus
+  /// replay deterministically, so they are included.
+  void MixDigest(Hasher& hasher) const {
+    hasher.Mix(ads_sent_);
+    hasher.Mix(control_bytes_);
+    hasher.Mix(dropped_no_route_);
+    hasher.Mix(static_cast<std::uint64_t>(tables_.size()));
+    for (const auto& table : tables_) {
+      hasher.Mix(static_cast<std::uint64_t>(table.size()));
+      for (const auto& [dst, route] : table) {
+        hasher.Mix(dst);
+        hasher.Mix(route.next_hop);
+        hasher.Mix(route.metric);
+        hasher.Mix(static_cast<std::uint64_t>(route.expires));
+      }
+    }
+  }
+
  private:
   // Control payload layout: {kDvAdvert, origin, count, (dst, metric)...}.
   static constexpr std::int64_t kDvAdvert = 3;

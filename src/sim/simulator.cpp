@@ -3,11 +3,17 @@
 #include <chrono>
 #include <utility>
 
+#include "sim/stats.h"
+
 namespace viator::sim {
 
 EventHandle Simulator::ScheduleAt(TimePoint when, Callback fn,
                                   const char* component) {
   Event ev;
+  if (when < now_) {
+    ++clamped_events_;
+    if (clamp_counter_ != nullptr) clamp_counter_->Add();
+  }
   ev.when = when < now_ ? now_ : when;
   ev.seq = next_seq_++;
   ev.fn = std::move(fn);
@@ -38,6 +44,9 @@ bool Simulator::Step() {
     now_ = ev.when;
     *ev.alive = false;  // mark fired so late Cancel() is a no-op
     ++dispatched_;
+    if (dispatch_hook_ != nullptr) {
+      dispatch_hook_(dispatch_hook_ctx_, ev.when, dispatched_);
+    }
     if (observer_) {
       const char* component = "sim.event";
       if (auto it = component_by_seq_.find(ev.seq);
@@ -74,6 +83,24 @@ std::uint64_t Simulator::RunAll() {
   std::uint64_t n = 0;
   while (Step()) ++n;
   return n;
+}
+
+std::optional<TimePoint> Simulator::NextEventTime() {
+  while (!queue_.empty()) {
+    if (*queue_.top().alive) return queue_.top().when;
+    // Tombstoned: drop it now, exactly as Step() would.
+    Event dead = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (observer_) component_by_seq_.erase(dead.seq);
+  }
+  return std::nullopt;
+}
+
+void Simulator::BindClampCounter(Counter* counter) {
+  clamp_counter_ = counter;
+  if (clamp_counter_ != nullptr && clamped_events_ > clamp_counter_->value()) {
+    clamp_counter_->Add(clamped_events_ - clamp_counter_->value());
+  }
 }
 
 Status Simulator::RestoreClock(TimePoint now, std::uint64_t dispatched_count) {

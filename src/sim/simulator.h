@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "sim/time.h"
 
 namespace viator::sim {
+
+class Counter;  // sim/stats.h
 
 /// Handle to a scheduled event; Cancel() prevents a not-yet-fired callback
 /// from running. Handles are cheap shared references and may outlive the
@@ -79,6 +82,19 @@ class Simulator {
     if (!observer_) component_by_seq_.clear();
   }
 
+  /// Flight-recorder hook, independent of the profiler's observer: called for
+  /// every dispatched event with its scheduled time and 1-based dispatch
+  /// ordinal (`dispatched()` after the increment — restored by RestoreClock,
+  /// so journals stay comparable across a genesis restore, unlike the
+  /// scheduling sequence number), before the callback runs. A plain function
+  /// pointer keeps the unhooked dispatch path to one predicted branch.
+  using DispatchHook = void (*)(void* ctx, TimePoint when,
+                                std::uint64_t ordinal);
+  void SetDispatchHook(DispatchHook hook, void* ctx) {
+    dispatch_hook_ = hook;
+    dispatch_hook_ctx_ = ctx;
+  }
+
   /// Runs events until the queue empties or the clock passes `deadline`.
   /// Returns the number of events dispatched.
   std::uint64_t RunUntil(TimePoint deadline);
@@ -88,6 +104,12 @@ class Simulator {
 
   /// Dispatches exactly one event if any is pending. Returns false when idle.
   bool Step();
+
+  /// Scheduled time of the next live (non-cancelled) event, or nullopt when
+  /// the queue holds none. Tombstoned entries encountered on the way are
+  /// removed (the same lazy cleanup Step() performs), which is why this is
+  /// not const. Lets replay seek stop exactly before a virtual-time bound.
+  std::optional<TimePoint> NextEventTime();
 
   /// Number of live (non-cancelled) events still queued. O(queue) — intended
   /// for tests and end-of-run assertions, not hot paths.
@@ -103,6 +125,17 @@ class Simulator {
 
   /// Total events dispatched since construction.
   std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Events whose requested time lay in the past and were silently clamped to
+  /// now() by ScheduleAt. A growing value usually means a scheduler bug in a
+  /// service (negative delays, stale deadlines), so it is worth watching.
+  std::uint64_t clamped_events() const { return clamped_events_; }
+
+  /// Mirrors the clamp count into an externally owned counter (typically
+  /// `stats.GetCounter("sim.clamped_events")` of the owning network) so it
+  /// shows up in metric exports. Pass nullptr to unbind. Clamps recorded
+  /// before binding are folded into the counter at bind time.
+  void BindClampCounter(Counter* counter);
 
   /// Restores the virtual clock to `now` with a given dispatch count
   /// (snapshot restore). Only legal on an idle simulator: fails with
@@ -130,9 +163,13 @@ class Simulator {
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t clamped_events_ = 0;
   std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   DispatchObserver observer_;
+  DispatchHook dispatch_hook_ = nullptr;
+  void* dispatch_hook_ctx_ = nullptr;
+  Counter* clamp_counter_ = nullptr;
   std::unordered_map<std::uint64_t, const char*> component_by_seq_;
 };
 

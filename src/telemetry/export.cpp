@@ -15,42 +15,11 @@
 namespace viator::telemetry {
 namespace {
 
-void AppendJsonEscaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
 std::string JsonString(std::string_view text) {
   std::string out;
   out.reserve(text.size() + 2);
   out += '"';
-  AppendJsonEscaped(out, text);
+  AppendEscaped(out, text, EscapeStyle::kJson);
   out += '"';
   return out;
 }
@@ -141,44 +110,56 @@ std::string PrometheusName(std::string_view name) {
   return out;
 }
 
-// HELP text escaping per the exposition format: backslash and line feed.
-std::string PrometheusHelp(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-// Label value escaping: backslash, double quote and line feed.
-std::string PrometheusLabel(std::string_view value) {
-  std::string out;
-  out.reserve(value.size());
-  for (const char c : value) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
 void PrometheusHeader(std::ostream& out, const std::string& pname,
                       std::string_view original, std::string_view kind,
                       std::string_view type) {
   out << "# HELP " << pname << " Viator " << kind << " "
-      << PrometheusHelp(original) << "\n"
+      << Escaped(original, EscapeStyle::kPrometheusHelp) << "\n"
       << "# TYPE " << pname << " " << type << "\n";
 }
 
 }  // namespace
+
+void AppendEscaped(std::string& out, std::string_view text,
+                   EscapeStyle style) {
+  const bool json = style == EscapeStyle::kJson;
+  const bool quotes = json || style == EscapeStyle::kPrometheusLabel;
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        out += quotes ? "\\\"" : "\"";
+        break;
+      case '\r':
+        out += json ? "\\r" : "\r";
+        break;
+      case '\t':
+        out += json ? "\\t" : "\t";
+        break;
+      default:
+        if (json && static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string Escaped(std::string_view text, EscapeStyle style) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscaped(out, text, style);
+  return out;
+}
 
 void WriteSpansJsonl(const std::vector<SpanRecord>& spans, std::ostream& out) {
   for (const SpanRecord& s : spans) {
@@ -369,7 +350,8 @@ void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out) {
     const std::string pname = PrometheusName(name);
     PrometheusHeader(out, pname, name, "histogram", "summary");
     for (const double q : {0.5, 0.9, 0.99}) {
-      out << pname << "{quantile=\"" << PrometheusLabel(FormatDouble(q, 2))
+      out << pname << "{quantile=\""
+          << Escaped(FormatDouble(q, 2), EscapeStyle::kPrometheusLabel)
           << "\"} " << ShortestDouble(hist.Quantile(q)) << "\n";
     }
     out << pname << "_sum " << ShortestDouble(hist.sum()) << "\n"

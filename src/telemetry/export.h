@@ -26,6 +26,21 @@
 
 namespace viator::telemetry {
 
+/// Escaping styles the exporters share. All styles escape backslash and
+/// newline; kJson additionally escapes the double quote, carriage return,
+/// tab and all other control characters (as \uXXXX); kPrometheusLabel
+/// additionally escapes only the double quote; kPrometheusHelp escapes
+/// nothing further (HELP text per the exposition format).
+enum class EscapeStyle { kJson, kPrometheusHelp, kPrometheusLabel };
+
+/// Appends `text` to `out`, escaped per `style` — the one escaping
+/// implementation behind the JSONL and Prometheus exporters.
+void AppendEscaped(std::string& out, std::string_view text,
+                   EscapeStyle style);
+
+/// Convenience form returning the escaped copy.
+std::string Escaped(std::string_view text, EscapeStyle style);
+
 /// One span per line, fixed field order, 16-digit hex trace ids:
 /// {"trace":"...","span":N,"parent":N,"ship":N,"component":"...",
 ///  "name":"...","start":N,"end":N}

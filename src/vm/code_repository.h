@@ -37,6 +37,10 @@ class CodeRepository {
   /// snapshot serialization).
   std::vector<Digest> Digests() const;
 
+  /// Mixes the stored program set into a rolling state digest
+  /// (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const;
+
   std::size_t size() const { return programs_.size(); }
 
  private:
@@ -65,6 +69,10 @@ class CodeCache {
 
   /// Resident digests from most- to least-recently used (snapshot order).
   std::vector<Digest> LruDigests() const;
+
+  /// Mixes residency (LRU order), byte usage and hit/miss accounting into a
+  /// rolling state digest (flight-recorder hook).
+  void MixDigest(Hasher& hasher) const;
 
   /// Restores hit/miss accounting from a snapshot.
   void RestoreCounters(std::uint64_t hits, std::uint64_t misses) {

@@ -68,6 +68,37 @@ TEST(Simulator, PastEventsClampToNow) {
   EXPECT_EQ(fired_at, 100u);
 }
 
+TEST(Simulator, ClampedEventsAreCountedNotSilent) {
+  Simulator s;
+  EXPECT_EQ(s.clamped_events(), 0u);
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAt(10, [] {});  // in the past → clamped to now
+    s.ScheduleAt(100, [] {}); // at now → not a clamp
+    s.ScheduleAt(5, [] {});   // second clamp
+  });
+  s.RunAll();
+  EXPECT_EQ(s.clamped_events(), 2u);
+}
+
+TEST(Simulator, ClampCounterBindFoldsPriorClamps) {
+  Simulator s;
+  s.ScheduleAt(100, [&] { s.ScheduleAt(10, [] {}); });
+  s.RunAll();
+  EXPECT_EQ(s.clamped_events(), 1u);
+
+  // Binding after the fact folds the already-counted clamps into the
+  // registry counter, then later clamps flow through it live.
+  StatsRegistry stats;
+  Counter& counter = stats.GetCounter("sim.clamped_events");
+  s.BindClampCounter(&counter);
+  EXPECT_EQ(counter.value(), 1u);
+
+  s.ScheduleAt(s.now() + 10, [&] { s.ScheduleAt(1, [] {}); });
+  s.RunAll();
+  EXPECT_EQ(s.clamped_events(), 2u);
+  EXPECT_EQ(counter.value(), 2u);
+}
+
 TEST(Simulator, CancelSuppressesCallback) {
   Simulator s;
   bool fired = false;

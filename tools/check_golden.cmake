@@ -1,0 +1,39 @@
+# Byte-exact golden-output checker, run as a ctest command:
+#
+#   cmake -DCMD="<tool> <args...>" -DGOLDEN=<file> [-DEXPECTED_EXIT=N]
+#         -P check_golden.cmake
+#
+# Runs CMD (split on ';'), captures stdout, and fails unless the exit code
+# matches EXPECTED_EXIT (default 0) and stdout is byte-identical to GOLDEN.
+# A diff-style mismatch report goes to stderr so CI logs show the drift.
+if(NOT DEFINED CMD OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "check_golden.cmake needs -DCMD and -DGOLDEN")
+endif()
+if(NOT DEFINED EXPECTED_EXIT)
+  set(EXPECTED_EXIT 0)
+endif()
+
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(COMMAND ${cmd_list}
+                OUTPUT_VARIABLE actual
+                RESULT_VARIABLE exit_code)
+
+if(NOT exit_code EQUAL EXPECTED_EXIT)
+  message(FATAL_ERROR
+          "golden check: '${CMD}' exited ${exit_code}, expected"
+          " ${EXPECTED_EXIT}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  # Write the actual output next to nothing permanent — a temp file — so a
+  # plain `diff` shows the drift in the test log.
+  string(SHA1 stamp "${GOLDEN}")
+  set(actual_file "${CMAKE_CURRENT_BINARY_DIR}/golden_actual_${stamp}.txt")
+  file(WRITE "${actual_file}" "${actual}")
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  "${GOLDEN}" "${actual_file}" RESULT_VARIABLE ignored)
+  message(STATUS "--- expected (${GOLDEN}) ---\n${expected}")
+  message(STATUS "--- actual (${actual_file}) ---\n${actual}")
+  message(FATAL_ERROR "golden check: output differs from ${GOLDEN}")
+endif()
