@@ -1,7 +1,16 @@
 // E16 — substrate micro-benchmarks (google-benchmark): the costs every
 // macro experiment is built on. Event queue operations, VM dispatch,
 // hashing, the TLV genome codec, fact-store operations and shortest paths.
+// Plus the sharded tier: a thread sweep of the multi-core window executor
+// over a 256x256 grid, recording events/sec and speedup (wall metrics, never
+// gated) alongside the deterministic event/handoff/window counters that the
+// CI bench gate pins against bench/baselines/BENCH_micro_substrate.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "base/hash.h"
 #include "telemetry/bench_report.h"
@@ -10,6 +19,8 @@
 #include "core/facts.h"
 #include "core/genetic_transcoder.h"
 #include "net/topology.h"
+#include "shard/plan.h"
+#include "shard/sharded_network.h"
 #include "sim/simulator.h"
 #include "vm/assembler.h"
 #include "vm/interpreter.h"
@@ -188,6 +199,122 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   telemetry::BenchReport& report_;
 };
 
+// ---- Sharded tier -----------------------------------------------------------
+
+struct ShardedRun {
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t handoffs = 0;
+};
+
+/// One sharded run: 4 row-band shards of a side x side grid, a fixed shuttle
+/// load, a fixed window count (so the event totals are exactly reproducible
+/// for the gate), hashing off (the raw-speed setting). Only the window loop
+/// is timed — world construction is setup, not simulation.
+ShardedRun RunShardedTier(std::size_t side, std::size_t threads,
+                          std::size_t windows, std::uint64_t load) {
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = threads;
+  config.hash_every = 0;
+  config.assignment = shard::GridRowBands(side, side, 4);
+  net::Topology grid = net::MakeGrid(side, side);
+  shard::ShardedNetwork world(grid, config);
+  const std::uint64_t nodes = side * side;
+  const std::uint64_t band_rows = side / 4;
+  for (std::uint64_t i = 0; i < load; ++i) {
+    // Start a few rows above a band boundary, near the boundary's exit
+    // gateway (the lowest-id cross link, column 0), and aim a few rows below
+    // it: short routes that finish inside the sweep, most crossing a shard
+    // boundary so the handoff/merge path is genuinely loaded.
+    const std::uint64_t band = i % 3;
+    const std::uint64_t row =
+        (band + 1) * band_rows - 1 - ((i * 2654435761ULL) % 4);
+    const std::uint64_t col = (i * 40503ULL + 7) % 8;
+    const std::uint64_t src = row * side + col;
+    const std::uint64_t dst = (src + side * 4 + (i % 8)) % nodes;
+    (void)world.Inject(src, dst, {static_cast<std::int64_t>(i)}, i);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t events = world.RunWindows(windows);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ShardedRun run;
+  run.seconds = std::chrono::duration<double>(elapsed).count();
+  run.events = events;
+  run.handoffs = world.stats().CounterValue("shard.handoffs");
+  return run;
+}
+
+/// Thread sweep 1/2/4/8. Returns false when the sweep violates its own
+/// contract: the deterministic counters must be identical for every thread
+/// count, and (only when VIATOR_REQUIRE_SPEEDUP is set on a >=4-core
+/// machine) 4 threads must clear 2x the single-thread event rate.
+std::size_t EnvOr(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+bool RunShardedSweep(telemetry::BenchReport& report) {
+  // Per-hop routing cost scales with active shuttles, so the committed
+  // defaults keep the 256x256 grid (the scale claim) but bound the shuttle
+  // load and window count to stay CI-sized. Override for bigger sweeps with
+  // VIATOR_SHARD_SIDE / VIATOR_SHARD_WINDOWS / VIATOR_SHARD_LOAD — the gate
+  // counters are only comparable at the baseline's settings.
+  const std::size_t side = EnvOr("VIATOR_SHARD_SIDE", 256);
+  const std::size_t windows = EnvOr("VIATOR_SHARD_WINDOWS", 12);
+  const std::uint64_t load = EnvOr("VIATOR_SHARD_LOAD", 8192);
+  report.Set("sharded.grid_side", static_cast<double>(side));
+  report.Set("sharded.shards", 4.0);
+  report.Set("sharded.windows", static_cast<double>(windows));
+  report.Set("sharded.load", static_cast<double>(load));
+
+  bool ok = true;
+  double serial_rate = 0.0;
+  double quad_rate = 0.0;
+  ShardedRun reference;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const ShardedRun run = RunShardedTier(side, threads, windows, load);
+    const double rate = run.seconds > 0.0
+                            ? static_cast<double>(run.events) / run.seconds
+                            : 0.0;
+    std::printf("sharded t=%zu: %llu events in %.3fs (%.0f events/s)\n",
+                threads, static_cast<unsigned long long>(run.events),
+                run.seconds, rate);
+    report.Set("sharded.events_per_sec.t" + std::to_string(threads), rate);
+    if (threads == 1) {
+      serial_rate = rate;
+      reference = run;
+      // The gate-able counters: bit-identical on every machine and thread
+      // count, so any drift is a real behavior change.
+      report.Set("sharded.events", static_cast<double>(run.events));
+      report.Set("sharded.handoffs", static_cast<double>(run.handoffs));
+    } else if (run.events != reference.events ||
+               run.handoffs != reference.handoffs) {
+      std::fprintf(stderr,
+                   "sharded sweep: t=%zu diverged from t=1 "
+                   "(events %llu vs %llu, handoffs %llu vs %llu)\n",
+                   threads, static_cast<unsigned long long>(run.events),
+                   static_cast<unsigned long long>(reference.events),
+                   static_cast<unsigned long long>(run.handoffs),
+                   static_cast<unsigned long long>(reference.handoffs));
+      ok = false;
+    }
+    if (threads == 4) quad_rate = rate;
+  }
+  const double speedup = serial_rate > 0.0 ? quad_rate / serial_rate : 0.0;
+  report.Set("sharded.speedup.t4", speedup);
+  std::printf("sharded speedup t4/t1: %.2fx\n", speedup);
+  if (std::getenv("VIATOR_REQUIRE_SPEEDUP") != nullptr &&
+      std::thread::hardware_concurrency() >= 4 && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "sharded sweep: speedup %.2fx below the required 2.0x\n",
+                 speedup);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +323,7 @@ int main(int argc, char** argv) {
   telemetry::BenchReport report("micro_substrate");
   JsonCaptureReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  const bool sharded_ok = RunShardedSweep(report);
   (void)report.Write();
-  return 0;
+  return sharded_ok ? 0 : 1;
 }

@@ -21,6 +21,17 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t DeriveSubstreamSeed(std::uint64_t base_seed,
+                                  std::uint64_t stream) {
+  // Decorrelate the stream index before xoring so that small consecutive
+  // indices (0, 1, 2, ...) land in unrelated regions of the seed space, then
+  // finalize twice through splitmix64.
+  std::uint64_t salt = stream;
+  std::uint64_t mixed = base_seed ^ SplitMix64(salt);
+  (void)SplitMix64(mixed);
+  return SplitMix64(mixed);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);

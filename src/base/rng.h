@@ -12,6 +12,17 @@
 
 namespace viator {
 
+/// Deterministic sub-stream seed derivation: maps (base_seed, stream) to a
+/// seed that is statistically independent across streams and stable across
+/// platforms and runs. Used wherever one logical seed must fan out into many
+/// parallel streams (replica runners, topology shards) without the streams
+/// correlating or depending on spawn order. Implemented as two rounds of the
+/// splitmix64 finalizer over base_seed ^ mix(stream), the same generator the
+/// Rng constructor seeds with, so DeriveSubstreamSeed(s, i) != s for i > 0
+/// with overwhelming probability.
+std::uint64_t DeriveSubstreamSeed(std::uint64_t base_seed,
+                                  std::uint64_t stream);
+
 /// xoshiro256** PRNG with convenience distributions. Cheap to copy; forkable
 /// into statistically independent child streams.
 class Rng {

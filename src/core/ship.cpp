@@ -62,6 +62,13 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
     (void)network_.Dispatch(id_, std::move(shuttle));
     return;
   }
+  if (shuttle.in_transit()) [[unlikely]] {
+    // This ship is only the shard-exit gateway: the capsule's journey
+    // continues in another topology shard. Hand it to the sharding layer
+    // instead of consuming it.
+    network_.HandleBoundary(*this, std::move(shuttle), arrived_from);
+    return;
+  }
   Consume(shuttle, arrived_from);
 }
 

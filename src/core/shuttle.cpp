@@ -22,7 +22,7 @@ std::uint32_t Shuttle::WireSize() const {
   // excluded from transmission accounting, so enabling the health plane
   // never changes serialization timing or queue occupancy for real load.
   if (header.kind == ShuttleKind::kProbe) return 0;
-  return kShuttleHeaderBytes +
+  return kShuttleHeaderBytes + (in_transit() ? 8 : 0) +
          static_cast<std::uint32_t>(code_image.size()) +
          static_cast<std::uint32_t>(payload.size() * 8) +
          static_cast<std::uint32_t>(genome.size());

@@ -72,6 +72,17 @@ struct Shuttle {
   /// Keyed authorization tag over the code image (capsule authorization).
   std::uint64_t auth_tag = 0;
 
+  /// Sharded-simulation transit addressing (src/shard): the *global* node id
+  /// this shuttle is ultimately bound for when `header.destination` is only
+  /// the local gateway (shard-exit) ship of the current topology shard. The
+  /// boundary handler re-addresses the shuttle across the cross-shard link.
+  /// kInvalidNode (the default) means "not in transit" — single-network runs
+  /// never set it. When set it adds 8 bytes to WireSize(), the extra
+  /// addressing a cross-shard capsule genuinely carries on the wire.
+  net::NodeId transit_destination = net::kInvalidNode;
+
+  bool in_transit() const { return transit_destination != net::kInvalidNode; }
+
   /// Causal trace context (observability metadata). Travels with the shuttle
   /// — including inside Frame payloads across hops — but is NOT part of
   /// WireSize(), so tracing never changes transport behavior.

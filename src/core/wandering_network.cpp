@@ -151,6 +151,15 @@ void WanderingNetwork::HandleProbe(Ship& at, Shuttle probe,
   stats_.GetCounter("wn.probe_unhandled").Add();
 }
 
+void WanderingNetwork::HandleBoundary(Ship& at, Shuttle shuttle,
+                                      net::NodeId arrived_from) {
+  if (boundary_handler_) {
+    boundary_handler_(at, std::move(shuttle), arrived_from);
+    return;
+  }
+  stats_.GetCounter("wn.boundary_unhandled").Add();
+}
+
 FunctionId WanderingNetwork::DeployFunction(net::NodeId host,
                                             NetFunction function) {
   if (function.id == 0) function.id = NextFunctionId();

@@ -135,6 +135,22 @@ class WanderingNetwork {
   /// Called by ships on probe arrival (internal plumbing).
   void HandleProbe(Ship& at, Shuttle probe, net::NodeId arrived_from);
 
+  /// Sharding hook: a shuttle that reaches its shard-local destination while
+  /// still carrying a transit_destination is a cross-shard capsule at its
+  /// exit gateway. It is handed to this handler *instead of* being consumed,
+  /// so the sharding layer (src/shard) can carry it over the cross-shard
+  /// link into the neighbouring shard's network. Without a handler such
+  /// shuttles are dropped and counted (wn.boundary_unhandled) — a plain
+  /// single-network run never produces them.
+  using BoundaryHandler = std::function<void(Ship& at, Shuttle shuttle,
+                                             net::NodeId arrived_from)>;
+  void SetBoundaryHandler(BoundaryHandler handler) {
+    boundary_handler_ = std::move(handler);
+  }
+  /// Called by ships when a transit shuttle lands on its gateway (internal
+  /// plumbing, same shape as HandleProbe).
+  void HandleBoundary(Ship& at, Shuttle shuttle, net::NodeId arrived_from);
+
   // ---- Function deployment and wandering ----
 
   /// Installs `function` on `host` and registers its placement. Returns the
@@ -271,6 +287,7 @@ class WanderingNetwork {
 
   NextHopChooser next_hop_chooser_;
   ProbeHandler probe_handler_;
+  BoundaryHandler boundary_handler_;
 
   FunctionId next_function_id_ = 1;
   std::uint64_t migrations_executed_ = 0;

@@ -43,12 +43,14 @@ Status OpenReader(std::span<const std::byte> payload, TlvReader& reader) {
 namespace {
 constexpr TlvTag kTagNow = 0x01;
 constexpr TlvTag kTagDispatched = 0x02;
+constexpr TlvTag kTagScheduleOrdinal = 0x03;
 }  // namespace
 
 std::vector<std::byte> SaveClock(const sim::Simulator& simulator) {
   TlvWriter w;
   w.PutU64(kTagNow, simulator.now());
   w.PutU64(kTagDispatched, simulator.dispatched());
+  w.PutU64(kTagScheduleOrdinal, simulator.schedule_ordinal());
   return w.Finish();
 }
 
@@ -58,13 +60,17 @@ Status LoadClock(std::span<const std::byte> payload,
   if (Status s = OpenReader(payload, r); !s.ok()) return s;
   sim::TimePoint now = 0;
   std::uint64_t dispatched = 0;
+  // Snapshots from before the stable tie-break ordinal carry no ordinal tag;
+  // restoring them leaves the counter where the fresh simulator put it.
+  std::uint64_t ordinal = sim::Simulator::kKeepScheduleOrdinal;
   while (r.HasNext()) {
     auto rec = r.Next();
     if (!rec.ok()) return rec.status();
     if (rec->tag == kTagNow) now = rec->AsU64();
     if (rec->tag == kTagDispatched) dispatched = rec->AsU64();
+    if (rec->tag == kTagScheduleOrdinal) ordinal = rec->AsU64();
   }
-  return simulator.RestoreClock(now, dispatched);
+  return simulator.RestoreClock(now, dispatched, ordinal);
 }
 
 // ---- RNG ------------------------------------------------------------------

@@ -153,6 +153,25 @@ bool Topology::IsConnected() const {
   return reached == up_nodes;
 }
 
+Topology Topology::InducedSubgraph(const std::vector<NodeId>& members) const {
+  Topology sub;
+  if (members.empty()) return sub;
+  sub.AddNodes(members.size());
+  std::vector<NodeId> local_of(node_count_, kInvalidNode);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    local_of[members[i]] = static_cast<NodeId>(i);
+    if (!node_up_[members[i]]) sub.SetNodeUp(static_cast<NodeId>(i), false);
+  }
+  for (const Link& l : links_) {
+    const NodeId la = local_of[l.a];
+    const NodeId lb = local_of[l.b];
+    if (la == kInvalidNode || lb == kInvalidNode) continue;
+    const LinkId id = sub.AddLink(la, lb, l.config);
+    if (!l.up) sub.SetLinkUp(id, false);
+  }
+  return sub;
+}
+
 void Topology::MixDigest(Hasher& hasher) const {
   hasher.Mix(static_cast<std::uint64_t>(node_count_));
   hasher.Mix(static_cast<std::uint64_t>(links_.size()));

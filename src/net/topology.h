@@ -76,6 +76,14 @@ class Topology {
   /// True when every node can reach every other over up links.
   bool IsConnected() const;
 
+  /// Shard-local view (src/shard): the subgraph induced by `members` —
+  /// global node ids that become local ids 0..members.size()-1 in member
+  /// order. Links with both endpoints in `members` are copied with the same
+  /// config and up flag; links crossing the cut are *not* copied (the shard
+  /// plan carries them separately as cross-shard link metadata). Per-node
+  /// up/down states are preserved. Duplicate members are invalid.
+  Topology InducedSubgraph(const std::vector<NodeId>& members) const;
+
   /// Mixes the structural state (node/link counts, endpoints, up flags) into
   /// a rolling state digest (flight-recorder hook).
   void MixDigest(Hasher& hasher) const;

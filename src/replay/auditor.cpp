@@ -16,6 +16,8 @@ std::string OwnerOf(const JournalRecord& record) {
     case RecordKind::kDispatch: return "simulator";
     case RecordKind::kWindowHash: return "journal";
     case RecordKind::kNote: return "note";
+    case RecordKind::kShardHash:
+      return "shard " + std::to_string(record.stream);
   }
   return "unknown";
 }
@@ -26,6 +28,7 @@ std::string KindName(RecordKind kind) {
     case RecordKind::kDispatch: return "dispatch";
     case RecordKind::kWindowHash: return "window hash";
     case RecordKind::kNote: return "note";
+    case RecordKind::kShardHash: return "shard hash";
   }
   return "record";
 }

@@ -91,10 +91,23 @@ std::uint64_t DecisionJournal::CaptureWindowHash(std::uint64_t window) {
   Hasher hasher;
   network_->MixDigest(hasher);
   const std::uint64_t hash = hasher.digest();
-  Append(RecordKind::kWindowHash, static_cast<std::uint32_t>(window),
-         network_->simulator().now(), hash);
-  window_hashes_.emplace_back(window, hash);
+  RecordWindowHash(window, hash, network_->simulator().now());
   return hash;
+}
+
+void DecisionJournal::RecordWindowHash(std::uint64_t window,
+                                       std::uint64_t state_hash,
+                                       sim::TimePoint time) {
+  Append(RecordKind::kWindowHash, static_cast<std::uint32_t>(window), time,
+         state_hash);
+  window_hashes_.emplace_back(window, state_hash);
+}
+
+void DecisionJournal::RecordShardHash(std::uint64_t window,
+                                      std::uint32_t shard,
+                                      std::uint64_t shard_hash) {
+  Append(RecordKind::kShardHash, shard, static_cast<sim::TimePoint>(window),
+         shard_hash);
 }
 
 const JournalRecord& DecisionJournal::at(std::size_t index) const {

@@ -50,6 +50,7 @@ enum class RecordKind : std::uint8_t {
   kDispatch = 2,    // a = event seq
   kWindowHash = 3,  // stream = window index (steps), a = state hash
   kNote = 4,        // a = FNV-1a hash of the note text
+  kShardHash = 5,   // stream = shard id, time = window index, a = shard hash
 };
 
 /// One journal entry. `digest` is the rolling journal digest *after* this
@@ -94,6 +95,21 @@ class DecisionJournal {
   /// Hashes the attached network's full state (MixDigest) and appends a
   /// window-hash record for step `window`. Returns the state hash.
   std::uint64_t CaptureWindowHash(std::uint64_t window);
+
+  /// Appends an externally computed per-step/window state hash. This is how
+  /// the sharded simulation core (src/shard) feeds its merged per-window
+  /// hashes into an *unattached* journal: the sharding layer owns the merge
+  /// order, the journal owns the bisectable hash timeline. `time` stamps the
+  /// record (window-end virtual time); the hash also lands in
+  /// window_hashes(), so DivergenceAuditor::Compare works unchanged.
+  void RecordWindowHash(std::uint64_t window, std::uint64_t state_hash,
+                        sim::TimePoint time = 0);
+
+  /// Appends one shard's window-local state hash (ring only — the merged
+  /// hash recorded by RecordWindowHash is the bisection timeline; per-shard
+  /// hashes are the refinement that names the diverging shard).
+  void RecordShardHash(std::uint64_t window, std::uint32_t shard,
+                       std::uint64_t shard_hash);
 
   // ---- Inspection ----
 

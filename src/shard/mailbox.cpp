@@ -1,0 +1,28 @@
+#include "shard/mailbox.h"
+
+#include <algorithm>
+
+namespace viator::shard {
+
+std::vector<Handoff> MailboxGrid::DrainSorted() {
+  std::vector<Handoff> batch;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    batch.insert(batch.end(), std::make_move_iterator(stripe.pending.begin()),
+                 std::make_move_iterator(stripe.pending.end()));
+    stripe.pending.clear();
+  }
+  std::sort(batch.begin(), batch.end());
+  total_handoffs_ += batch.size();
+  return batch;
+}
+
+bool MailboxGrid::Empty() const {
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (!stripe.pending.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace viator::shard

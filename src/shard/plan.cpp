@@ -1,0 +1,145 @@
+#include "shard/plan.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <tuple>
+
+namespace viator::shard {
+
+void ShardPlan::MixDigest(Hasher& hasher) const {
+  hasher.Mix(static_cast<std::uint64_t>(shard_count()));
+  for (const auto& shard_members : members_) {
+    hasher.Mix(static_cast<std::uint64_t>(shard_members.size()));
+    for (net::NodeId node : shard_members) hasher.Mix(node);
+  }
+  hasher.Mix(static_cast<std::uint64_t>(cross_links_.size()));
+  for (const CrossLink& link : cross_links_) {
+    hasher.Mix(link.a);
+    hasher.Mix(link.b);
+    hasher.Mix(link.config.latency);
+  }
+  hasher.Mix(min_cross_latency_);
+}
+
+Result<ShardPlan> BuildShardPlan(const net::Topology& topology,
+                                 std::size_t shard_count,
+                                 const ShardAssignment& assignment) {
+  if (shard_count == 0) return InvalidArgument("shard_count must be >= 1");
+  if (!assignment) return InvalidArgument("assignment must be callable");
+
+  ShardPlan plan;
+  const std::size_t n = topology.node_count();
+  plan.members_.resize(shard_count);
+  plan.shard_of_.resize(n, kInvalidShard);
+  plan.local_of_.resize(n, net::kInvalidNode);
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    const ShardId shard = assignment(node, topology);
+    if (shard >= shard_count) {
+      return InvalidArgument("assignment maps node outside [0, shard_count)");
+    }
+    plan.shard_of_[node] = shard;
+    // Ascending global order within a shard because nodes are visited in
+    // ascending global order — the local id space is reproducible from the
+    // assignment alone.
+    plan.local_of_[node] =
+        static_cast<net::NodeId>(plan.members_[shard].size());
+    plan.members_[shard].push_back(node);
+  }
+
+  sim::Duration min_latency = std::numeric_limits<sim::Duration>::max();
+  for (net::LinkId id = 0; id < topology.link_count(); ++id) {
+    const net::Link& link = topology.link(id);
+    const ShardId sa = plan.shard_of_[link.a];
+    const ShardId sb = plan.shard_of_[link.b];
+    if (sa == sb) continue;
+    CrossLink cross;
+    cross.a = link.a;
+    cross.b = link.b;
+    cross.shard_a = sa;
+    cross.shard_b = sb;
+    cross.config = link.config;
+    plan.cross_links_.push_back(cross);
+    min_latency = std::min(min_latency, link.config.latency);
+  }
+  plan.min_cross_latency_ =
+      plan.cross_links_.empty() ? 0
+                                : std::max<sim::Duration>(1, min_latency);
+
+  // Shard-level routing: per adjacent shard pair keep the best cross link
+  // (lowest latency, then lowest global endpoint ids — a total order, so the
+  // gateway choice is deterministic), then BFS the shard adjacency graph for
+  // every source shard to fill the next-exit-link table.
+  const std::size_t s = shard_count;
+  std::vector<std::size_t> best(s * s, ShardPlan::kInvalidRoute);
+  auto better = [&](std::size_t lhs, std::size_t rhs) {
+    // True when cross link lhs beats rhs for the same shard pair.
+    if (rhs == ShardPlan::kInvalidRoute) return true;
+    const CrossLink& x = plan.cross_links_[lhs];
+    const CrossLink& y = plan.cross_links_[rhs];
+    return std::make_tuple(x.config.latency, x.a, x.b) <
+           std::make_tuple(y.config.latency, y.a, y.b);
+  };
+  for (std::size_t i = 0; i < plan.cross_links_.size(); ++i) {
+    const CrossLink& link = plan.cross_links_[i];
+    std::size_t& ab = best[link.shard_a * s + link.shard_b];
+    if (better(i, ab)) ab = i;
+    std::size_t& ba = best[link.shard_b * s + link.shard_a];
+    if (better(i, ba)) ba = i;
+  }
+
+  plan.route_.assign(s * s, ShardPlan::kInvalidRoute);
+  for (ShardId src = 0; src < s; ++src) {
+    // BFS from src over shard adjacency; route_[src][t] = first-hop link.
+    std::vector<bool> visited(s, false);
+    visited[src] = true;
+    std::deque<ShardId> frontier{src};
+    while (!frontier.empty()) {
+      const ShardId at = frontier.front();
+      frontier.pop_front();
+      for (ShardId next = 0; next < s; ++next) {
+        if (visited[next] || best[at * s + next] == ShardPlan::kInvalidRoute) {
+          continue;
+        }
+        visited[next] = true;
+        // First hop toward `next` is either the direct gateway (at == src)
+        // or whatever first hop reached `at`.
+        plan.route_[src * s + next] =
+            at == src ? best[src * s + next] : plan.route_[src * s + at];
+        frontier.push_back(next);
+      }
+    }
+  }
+  return plan;
+}
+
+ShardAssignment ContiguousBlocks(std::size_t shard_count) {
+  return [shard_count](net::NodeId node, const net::Topology& topology) {
+    const std::size_t n = topology.node_count();
+    const std::size_t base = n / shard_count;
+    const std::size_t extra = n % shard_count;
+    // The first `extra` shards hold (base + 1) nodes each.
+    const std::size_t boundary = extra * (base + 1);
+    if (node < boundary) {
+      return static_cast<ShardId>(node / (base + 1));
+    }
+    if (base == 0) return static_cast<ShardId>(shard_count - 1);
+    return static_cast<ShardId>(extra + (node - boundary) / base);
+  };
+}
+
+ShardAssignment GridRowBands(std::size_t rows, std::size_t cols,
+                             std::size_t shard_count) {
+  return [rows, cols, shard_count](net::NodeId node, const net::Topology&) {
+    const std::size_t row = node / cols;
+    const std::size_t base = rows / shard_count;
+    const std::size_t extra = rows % shard_count;
+    const std::size_t boundary = extra * (base + 1);
+    if (row < boundary) return static_cast<ShardId>(row / (base + 1));
+    if (base == 0) return static_cast<ShardId>(shard_count - 1);
+    return static_cast<ShardId>(extra + (row - boundary) / base);
+  };
+}
+
+}  // namespace viator::shard

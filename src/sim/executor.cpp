@@ -1,0 +1,101 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace viator::sim {
+
+namespace {
+
+std::uint64_t WallNsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+ShardedExecutor::ShardedExecutor(std::vector<Simulator*> simulators,
+                                 std::size_t threads)
+    : simulators_(std::move(simulators)) {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  threads_ = threads == 0 ? hw : threads;
+  threads_ = std::max<std::size_t>(1, std::min(threads_, simulators_.size()));
+  results_.resize(simulators_.size());
+  if (threads_ > 1) {
+    pool_.reserve(threads_);
+    for (std::size_t i = 0; i < threads_; ++i) {
+      pool_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : pool_) t.join();
+  }
+}
+
+void ShardedExecutor::RunShard(std::size_t shard) {
+  const auto start = std::chrono::steady_clock::now();
+  Simulator& simulator = *simulators_[shard];
+  const std::uint64_t dispatched = simulator.RunUntil(deadline_);
+  if (post_ != nullptr && *post_) (*post_)(shard);
+  results_[shard].dispatched = dispatched;
+  results_[shard].wall_ns = WallNsSince(start);
+}
+
+const std::vector<ShardedExecutor::WindowResult>& ShardedExecutor::RunWindow(
+    TimePoint deadline, const PostWindowFn& post) {
+  if (pool_.empty()) {
+    // Sequential reference path: shards run in shard order on this thread.
+    std::fill(results_.begin(), results_.end(), WindowResult{});
+    deadline_ = deadline;
+    post_ = &post;
+    for (std::size_t i = 0; i < simulators_.size(); ++i) RunShard(i);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::fill(results_.begin(), results_.end(), WindowResult{});
+      deadline_ = deadline;
+      post_ = &post;
+      next_shard_ = 0;
+      pending_shards_ = simulators_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_shards_ == 0; });
+  }
+  post_ = nullptr;
+  for (const WindowResult& r : results_) total_dispatched_ += r.dispatched;
+  return results_;
+}
+
+void ShardedExecutor::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (next_shard_ < simulators_.size()) {
+      const std::size_t shard = next_shard_++;
+      lock.unlock();
+      RunShard(shard);
+      lock.lock();
+      if (--pending_shards_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace viator::sim

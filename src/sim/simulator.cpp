@@ -103,12 +103,19 @@ void Simulator::BindClampCounter(Counter* counter) {
   }
 }
 
-Status Simulator::RestoreClock(TimePoint now, std::uint64_t dispatched_count) {
+Status Simulator::RestoreClock(TimePoint now, std::uint64_t dispatched_count,
+                               std::uint64_t schedule_ordinal) {
   if (PendingEvents() != 0) {
     return FailedPrecondition("cannot restore clock with events pending");
   }
   if (now < now_) {
     return InvalidArgument("cannot restore clock backwards");
+  }
+  if (schedule_ordinal != kKeepScheduleOrdinal) {
+    if (schedule_ordinal < next_seq_) {
+      return InvalidArgument("cannot restore schedule ordinal backwards");
+    }
+    next_seq_ = schedule_ordinal;
   }
   now_ = now;
   dispatched_ = dispatched_count;

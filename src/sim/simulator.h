@@ -1,8 +1,14 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of (time, sequence, callback) events and
-// a virtual clock. Events at equal times fire in scheduling order (sequence
-// tiebreak), which makes every run bit-for-bit deterministic. Scheduled
+// A Simulator owns a priority queue of (time, ordinal, callback) events and
+// a virtual clock. Events at equal times fire in scheduling order: the
+// tie-break key is a *stable schedule ordinal* — a monotone counter assigned
+// at ScheduleAt time that genesis snapshots save and RestoreClock restores —
+// never an insertion pointer or other accident of memory layout. That makes
+// every run bit-for-bit deterministic, keeps same-time dispatch order
+// identical across a checkpoint/restore boundary, and gives merged
+// shard-boundary injections (src/shard) a well-defined total order against
+// events the restored or destination simulator scheduled itself. Scheduled
 // events can be cancelled through the returned handle; cancellation is O(1)
 // (tombstoning) with lazy removal at pop time.
 #pragma once
@@ -137,16 +143,29 @@ class Simulator {
   /// before binding are folded into the counter at bind time.
   void BindClampCounter(Counter* counter);
 
-  /// Restores the virtual clock to `now` with a given dispatch count
-  /// (snapshot restore). Only legal on an idle simulator: fails with
-  /// kFailedPrecondition when events are still queued, and with
-  /// kInvalidArgument when `now` would move the clock backwards.
-  Status RestoreClock(TimePoint now, std::uint64_t dispatched_count);
+  /// Sentinel for RestoreClock: leave the schedule ordinal unchanged
+  /// (pre-ordinal snapshots restore with this default).
+  static constexpr std::uint64_t kKeepScheduleOrdinal =
+      ~static_cast<std::uint64_t>(0);
+
+  /// Next schedule ordinal to be assigned — the stable same-time tie-break
+  /// key. Saved by genesis snapshots so that events scheduled after a
+  /// restore tie-break exactly as they would have in the uninterrupted run.
+  std::uint64_t schedule_ordinal() const { return next_seq_; }
+
+  /// Restores the virtual clock to `now` with a given dispatch count and
+  /// (optionally) schedule ordinal (snapshot restore). Only legal on an idle
+  /// simulator: fails with kFailedPrecondition when events are still queued,
+  /// and with kInvalidArgument when `now` would move the clock backwards or
+  /// `schedule_ordinal` would move the tie-break counter backwards.
+  Status RestoreClock(TimePoint now, std::uint64_t dispatched_count,
+                      std::uint64_t schedule_ordinal = kKeepScheduleOrdinal);
 
  private:
   // Kept at 64 bytes: the priority queue sifts whole Events, so every extra
   // member is paid on each push/pop. Attribution labels live in
   // component_by_seq_ (populated only while an observer is installed).
+  // `seq` is the stable schedule ordinal described above.
   struct Event {
     TimePoint when;
     std::uint64_t seq;

@@ -1,0 +1,24 @@
+#include "telemetry/shard_metrics.h"
+
+namespace viator::telemetry {
+
+std::string ShardMetricName(std::uint32_t shard, std::string_view metric) {
+  std::string name = "shard.";
+  name += std::to_string(shard);
+  name += '.';
+  name += metric;
+  return name;
+}
+
+void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
+                        const ShardWindowSample& sample) {
+  stats.GetCounter(ShardMetricName(shard, "dispatched")).Add(sample.dispatched);
+  stats.GetCounter(ShardMetricName(shard, "handoffs_out"))
+      .Add(sample.handoffs_out);
+  stats.GetCounter(ShardMetricName(shard, "handoffs_in"))
+      .Add(sample.handoffs_in);
+  stats.GetCounter(ShardMetricName(shard, "stall_ns")).Add(sample.stall_ns);
+  stats.GetGauge(ShardMetricName(shard, "queue_depth")).Set(sample.queue_depth);
+}
+
+}  // namespace viator::telemetry

@@ -1,0 +1,40 @@
+// Per-shard telemetry naming and publishing for the sharded simulation core.
+//
+// The sharded core (src/shard) runs N private worlds; this helper gives
+// their merge-layer metrics one stable naming scheme — `shard.<id>.<metric>`
+// under the repo-wide dotted convention — so every existing exporter
+// (Prometheus text, JSON, CSV) renders per-shard series without knowing what
+// a shard is. Published per window from the single-threaded barrier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.h"
+
+namespace viator::telemetry {
+
+/// One shard's merge-layer sample for a single window.
+struct ShardWindowSample {
+  /// Events the shard dispatched during the window.
+  std::uint64_t dispatched = 0;
+  /// Cross-shard handoffs the shard emitted / received at the barrier.
+  std::uint64_t handoffs_out = 0;
+  std::uint64_t handoffs_in = 0;
+  /// Wall-clock nanoseconds the shard idled waiting for the window's slowest
+  /// shard (load-imbalance signal; diagnostic, never feeds simulation state).
+  std::uint64_t stall_ns = 0;
+  /// Event-queue occupancy after the window ran.
+  double queue_depth = 0.0;
+};
+
+/// "shard.<id>.<metric>" (the dotted form exporters sanitize themselves).
+std::string ShardMetricName(std::uint32_t shard, std::string_view metric);
+
+/// Adds the sample into `stats`: counters shard.<id>.{dispatched,
+/// handoffs_out, handoffs_in, stall_ns}, gauge shard.<id>.queue_depth.
+void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
+                        const ShardWindowSample& sample);
+
+}  // namespace viator::telemetry

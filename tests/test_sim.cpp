@@ -38,6 +38,56 @@ TEST(Simulator, FifoAtEqualTimes) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(Simulator, SameTimeOrderSurvivesCancellationChurn) {
+  // The tie-break key is the stable schedule ordinal, so heavy interleaved
+  // cancellation (heap churn, tombstone cleanup) must not reorder surviving
+  // same-time events.
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 50; ++i) {
+    doomed.push_back(s.ScheduleAt(50, [&order, i] { order.push_back(-i); }));
+    s.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  for (EventHandle& handle : doomed) handle.Cancel();
+  s.RunAll();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RestoreClockRestoresScheduleOrdinal) {
+  // Snapshot scenario: the capturing simulator assigned ordinals 0..2; the
+  // restored one must continue the counter, not restart it, so later
+  // same-time ties (e.g. against merged shard-boundary injections) break
+  // exactly as in the uninterrupted run.
+  Simulator original;
+  for (int i = 0; i < 3; ++i) original.ScheduleAt(10 * (i + 1), [] {});
+  original.RunAll();
+  EXPECT_EQ(original.schedule_ordinal(), 3u);
+
+  Simulator restored;
+  ASSERT_TRUE(restored
+                  .RestoreClock(original.now(), original.dispatched(),
+                                original.schedule_ordinal())
+                  .ok());
+  EXPECT_EQ(restored.schedule_ordinal(), 3u);
+  EXPECT_EQ(restored.now(), original.now());
+
+  // Moving the ordinal backwards is corruption, not restoration.
+  Simulator fresh;
+  (void)fresh.RestoreClock(5, 1, 4);
+  const Status backwards = fresh.RestoreClock(6, 1, 2);
+  EXPECT_EQ(backwards.code(), StatusCode::kInvalidArgument);
+
+  // The sentinel default leaves the counter alone (pre-ordinal snapshots).
+  Simulator legacy;
+  legacy.ScheduleAt(1, [] {});
+  legacy.RunAll();
+  const std::uint64_t before = legacy.schedule_ordinal();
+  ASSERT_TRUE(legacy.RestoreClock(100, 5).ok());
+  EXPECT_EQ(legacy.schedule_ordinal(), before);
+}
+
 TEST(Simulator, OrdersByTime) {
   Simulator s;
   std::vector<int> order;
