@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/perf_counters.h"
+
 namespace viator {
 namespace {
 
@@ -38,6 +40,8 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::Next() {
+  // Counted, not timed: an rdtsc pair costs more than the draw itself.
+  VIATOR_PERF_COUNT(kRngDraw);
   const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/perf_counters.h"
+
 namespace viator::wli {
 
 WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
@@ -128,7 +130,12 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
       return OkStatus();
     }
   }
-  if (next == net::kInvalidNode) next = topology_.NextHop(at, dst);
+  if (next == net::kInvalidNode) {
+    // The BFS-per-hop cost center ROADMAP item 2 wants cached away; the
+    // probe quantifies it per shard and per run.
+    VIATOR_PERF_SCOPE(kRouteNextHop);
+    next = topology_.NextHop(at, dst);
+  }
   if (next == net::kInvalidNode) {
     stats_.GetCounter("wn.unroutable").Add();
     return NotFound("no route to destination");

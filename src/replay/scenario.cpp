@@ -2,6 +2,7 @@
 
 #include "base/tlv.h"
 #include "core/shuttle.h"
+#include "telemetry/perf_counters.h"
 
 namespace viator::replay {
 
@@ -82,6 +83,10 @@ ReplayWorld::ReplayWorld(const ScenarioConfig& config, bool populate,
       keep_checkpoints_(keep_checkpoints),
       journal_(config.journal_config),
       journal_section_(journal_) {
+  // Scenario boundary: the process-wide perf counter blocks would otherwise
+  // leak the previous scenario's counts into this one (bench_replay runs
+  // several tiers per process; regression test PerfCountersResetPerScenario).
+  if (populate) telemetry::perf::ResetAll();
   wli::WnConfig wn_config;
   wn_config.telemetry.enable_tracing = config_.tracing;
   if (populate) topology_ = net::MakeGrid(config_.rows, config_.cols);

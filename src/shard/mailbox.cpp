@@ -5,6 +5,7 @@
 namespace viator::shard {
 
 std::vector<Handoff> MailboxGrid::DrainSorted() {
+  VIATOR_PERF_SCOPE(kMailboxDrain);
   std::vector<Handoff> batch;
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mutex);

@@ -19,6 +19,7 @@
 #include "net/types.h"
 #include "shard/plan.h"
 #include "sim/time.h"
+#include "telemetry/perf_counters.h"
 
 namespace viator::shard {
 
@@ -58,6 +59,9 @@ class MailboxGrid {
   /// Deposits a handoff bound for `destination_shard`. Thread-safe; called
   /// from shard workers mid-window.
   void Push(ShardId destination_shard, Handoff handoff) {
+    // The timed scope covers the stripe lock acquire + deposit, so cycle
+    // counts surface stripe contention directly.
+    VIATOR_PERF_SCOPE(kMailboxPush);
     Stripe& stripe = stripes_[destination_shard];
     std::lock_guard<std::mutex> lock(stripe.mutex);
     stripe.pending.push_back(std::move(handoff));

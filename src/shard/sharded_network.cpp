@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "base/rng.h"
 #include "base/tlv.h"
+#include "telemetry/perf_counters.h"
 #include "telemetry/shard_metrics.h"
 
 namespace viator::shard {
@@ -52,7 +54,9 @@ ShardedNetwork::ShardedNetwork(const net::Topology& global,
     : config_(config),
       global_(global),
       mailbox_(config.shard_count == 0 ? 1 : config.shard_count),
-      journal_(config.journal) {
+      journal_(config.journal),
+      observatory_(config.shard_count,
+                   config.observatory_window_capacity) {
   const ShardAssignment assignment = config_.assignment
                                          ? config_.assignment
                                          : ContiguousBlocks(config_.shard_count);
@@ -90,6 +94,7 @@ ShardedNetwork::ShardedNetwork(const net::Topology& global,
 
   executor_ =
       std::make_unique<sim::ShardedExecutor>(simulators_, config_.threads);
+  observatory_.Reset(plan_.shard_count());
   stats_.GetGauge("shard.count").Set(static_cast<double>(plan_.shard_count()));
   stats_.GetGauge("shard.window_ns").Set(static_cast<double>(window_));
 }
@@ -138,6 +143,7 @@ void ShardedNetwork::OnBoundary(ShardId shard, wli::Ship& gateway,
   // mutex-striped mailbox. `gateway` is the exit ship the shuttle was
   // addressed to; the exit *link* is recomputed from the plan so the choice
   // never depends on how the shuttle got here.
+  VIATOR_PERF_SCOPE(kGatewayRoute);
   (void)gateway;
   ShardSlot& slot = *shards_[shard];
   const ShardId final_shard = plan_.shard_of(shuttle.transit_destination);
@@ -184,7 +190,12 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
     const std::vector<sim::ShardedExecutor::WindowResult>& results =
         executor_->RunWindow(window_end, post);
     for (const auto& result : results) events += result.dispatched;
-    MergeWindow(window_end, hash_due);
+    const auto merge_start = std::chrono::steady_clock::now();
+    const std::size_t merged = MergeWindow(window_end, hash_due);
+    const auto merge_wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count());
 
     // Telemetry (barrier context; wall_ns is diagnostic and never feeds
     // simulation state). Stall = how long a shard idled waiting for the
@@ -193,26 +204,42 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
     for (const auto& result : results) {
       max_wall = std::max(max_wall, result.wall_ns);
     }
+    telemetry::ShardWindowRecord record;
+    record.window_index = window_index_;
+    record.virtual_start = window_end - window_;
+    record.virtual_end = window_end;
+    record.merge_wall_ns = merge_wall_ns;
+    record.merge_handoffs = merged;
+    record.shards.resize(shard_count());
     for (ShardId shard = 0; shard < shard_count(); ++shard) {
       ShardSlot& slot = *shards_[shard];
-      telemetry::PublishShardWindow(
-          stats_, shard,
-          {.dispatched = results[shard].dispatched,
-           .handoffs_out = slot.window_handoffs_out,
-           .handoffs_in = slot.window_handoffs_in,
-           .stall_ns = max_wall - results[shard].wall_ns,
-           .queue_depth = static_cast<double>(slot.simulator.queue_depth())});
+      const telemetry::ShardWindowSample sample{
+          .dispatched = results[shard].dispatched,
+          .handoffs_out = slot.window_handoffs_out,
+          .handoffs_in = slot.window_handoffs_in,
+          .wall_ns = results[shard].wall_ns,
+          .start_ns = results[shard].start_ns,
+          .stall_ns = max_wall - results[shard].wall_ns,
+          .queue_depth = static_cast<double>(slot.simulator.queue_depth())};
+      telemetry::PublishShardWindow(stats_, shard, sample);
+      record.shards[shard] = sample;
       unroutable_handoffs_ += slot.window_unroutable;
       slot.window_handoffs_out = 0;
       slot.window_handoffs_in = 0;
       slot.window_unroutable = 0;
+    }
+    if (config_.observatory) {
+      observatory_.RecordWindow(std::move(record));
+      observatory_.PublishStats(stats_);
     }
     stats_.GetCounter("shard.windows").Add(1);
   }
   return events;
 }
 
-void ShardedNetwork::MergeWindow(sim::TimePoint window_end, bool hash_due) {
+std::size_t ShardedNetwork::MergeWindow(sim::TimePoint window_end,
+                                        bool hash_due) {
+  VIATOR_PERF_SCOPE(kMergeWindow);
   std::vector<Handoff> batch = mailbox_.DrainSorted();
   Hasher handoff_hasher;
 
@@ -291,6 +318,7 @@ void ShardedNetwork::MergeWindow(sim::TimePoint window_end, bool hash_due) {
     combined.Mix(handoff_hasher.digest());
     journal_.RecordWindowHash(window_index_, combined.digest(), window_end);
   }
+  return batch.size();
 }
 
 std::uint64_t ShardedNetwork::RunUntilQuiescent(std::size_t max_windows) {

@@ -36,6 +36,7 @@
 #include "sim/executor.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "telemetry/shard_metrics.h"
 
 namespace viator::shard {
 
@@ -66,6 +67,14 @@ struct ShardedConfig {
   wli::WnConfig wn;
 
   replay::JournalConfig journal;
+
+  /// Shard Observatory: per-window record retention for the straggler /
+  /// critical-path report and the wnscope parallel timeline. Totals always
+  /// accumulate; only the per-window records are bounded. Disabling skips
+  /// the recording entirely (counters in `stats()` still publish).
+  bool observatory = true;
+  std::size_t observatory_window_capacity =
+      telemetry::ShardObservatory::kDefaultWindowCapacity;
 };
 
 class ShardedNetwork {
@@ -146,6 +155,12 @@ class ShardedNetwork {
   /// whole-run counters. Exported via the standard telemetry exporters.
   sim::StatsRegistry& stats() { return stats_; }
   const sim::StatsRegistry& stats() const { return stats_; }
+  /// Per-window performance plane: straggler report, imbalance indices,
+  /// the wnscope timeline source (docs/PERF.md).
+  const telemetry::ShardObservatory& observatory() const {
+    return observatory_;
+  }
+  telemetry::ShardObservatory& observatory() { return observatory_; }
   std::uint64_t total_dispatched() const { return executor_->total_dispatched(); }
   /// Handoffs whose zero-latency arrival had to be deferred to the next
   /// window boundary (only possible when a cross link has latency < window).
@@ -156,7 +171,8 @@ class ShardedNetwork {
 
   void InstallBoundaryHandler(ShardId shard);
   void OnBoundary(ShardId shard, wli::Ship& gateway, wli::Shuttle shuttle);
-  void MergeWindow(sim::TimePoint window_end, bool hash_due);
+  /// Returns the number of handoffs merged at this barrier.
+  std::size_t MergeWindow(sim::TimePoint window_end, bool hash_due);
   std::uint64_t ShardHash(ShardId shard) const;
 
   ShardedConfig config_;
@@ -174,6 +190,7 @@ class ShardedNetwork {
   std::unique_ptr<sim::ShardedExecutor> executor_;
   replay::DecisionJournal journal_;
   sim::StatsRegistry stats_;
+  telemetry::ShardObservatory observatory_;
 
   std::uint64_t window_index_ = 0;
   std::uint64_t clamped_handoffs_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/perf_counters.h"
+
 namespace viator::sim {
 
 namespace {
@@ -46,10 +48,21 @@ ShardedExecutor::~ShardedExecutor() {
 void ShardedExecutor::RunShard(std::size_t shard) {
   const auto start = std::chrono::steady_clock::now();
   Simulator& simulator = *simulators_[shard];
-  const std::uint64_t dispatched = simulator.RunUntil(deadline_);
-  if (post_ != nullptr && *post_) (*post_)(shard);
+  std::uint64_t dispatched = 0;
+  {
+    VIATOR_PERF_SCOPE(kExecutorWindow);
+    dispatched = simulator.RunUntil(deadline_);
+  }
+  if (post_ != nullptr && *post_) {
+    VIATOR_PERF_SCOPE(kExecutorPost);
+    (*post_)(shard);
+  }
   results_[shard].dispatched = dispatched;
   results_[shard].wall_ns = WallNsSince(start);
+  results_[shard].start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                           window_epoch_)
+          .count());
 }
 
 const std::vector<ShardedExecutor::WindowResult>& ShardedExecutor::RunWindow(
@@ -59,6 +72,7 @@ const std::vector<ShardedExecutor::WindowResult>& ShardedExecutor::RunWindow(
     std::fill(results_.begin(), results_.end(), WindowResult{});
     deadline_ = deadline;
     post_ = &post;
+    window_epoch_ = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < simulators_.size(); ++i) RunShard(i);
   } else {
     {
@@ -68,9 +82,11 @@ const std::vector<ShardedExecutor::WindowResult>& ShardedExecutor::RunWindow(
       post_ = &post;
       next_shard_ = 0;
       pending_shards_ = simulators_.size();
+      window_epoch_ = std::chrono::steady_clock::now();
       ++generation_;
     }
     work_cv_.notify_all();
+    VIATOR_PERF_SCOPE(kBarrierWait);
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_shards_ == 0; });
   }

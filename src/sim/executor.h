@@ -17,6 +17,7 @@
 // src/shard.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -38,6 +39,10 @@ class ShardedExecutor {
     /// Wall-clock nanoseconds the shard's window run (plus post task) took.
     /// Diagnostic only — never feeds simulation state or hashes.
     std::uint64_t wall_ns = 0;
+    /// Wall-clock offset of the shard's start from the window epoch (the
+    /// instant RunWindow released the pool): when a worker actually picked
+    /// the shard up. Diagnostic; timeline rendering only.
+    std::uint64_t start_ns = 0;
   };
 
   /// Runs on the worker that finished shard `i`'s window, immediately after
@@ -85,6 +90,8 @@ class ShardedExecutor {
   std::condition_variable done_cv_;
   std::uint64_t generation_ = 0;
   TimePoint deadline_ = 0;
+  /// Wall instant the current window was released (start_ns reference).
+  std::chrono::steady_clock::time_point window_epoch_{};
   const PostWindowFn* post_ = nullptr;
   std::size_t next_shard_ = 0;
   std::size_t pending_shards_ = 0;

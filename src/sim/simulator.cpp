@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/stats.h"
+#include "telemetry/perf_counters.h"
 
 namespace viator::sim {
 
@@ -31,6 +32,7 @@ EventHandle Simulator::ScheduleAfter(Duration delay, Callback fn,
 }
 
 bool Simulator::Step() {
+  VIATOR_PERF_SCOPE(kSimDispatch);
   while (!queue_.empty()) {
     // priority_queue::top() is const; move out via const_cast after copy of
     // the ordering fields — the element is popped immediately after.

@@ -199,6 +199,81 @@ void WriteTraceEventJson(const std::vector<SpanRecord>& spans,
   out << "\n]}\n";
 }
 
+void WriteShardTimelineJson(const ShardObservatory& observatory,
+                            std::ostream& out) {
+  const std::size_t shard_count = observatory.shard_count();
+  const std::uint64_t merge_tid = shard_count;  // one track past the shards
+
+  const auto emit_ts = [](std::uint64_t ns) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+  };
+
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << shard
+        << ",\"args\":{\"name\":\"shard " << shard << "\"}}";
+  }
+  sep();
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+      << merge_tid << ",\"args\":{\"name\":\"merge\"}}";
+
+  // Wall base accumulated across windows: each window occupies
+  // [base, base + max shard end + merge], so successive windows abut the
+  // way the run actually executed.
+  std::uint64_t base_ns = 0;
+  for (const ShardWindowRecord& w : observatory.windows()) {
+    std::uint64_t window_span_ns = 0;
+    for (const ShardWindowSample& s : w.shards) {
+      window_span_ns = std::max(window_span_ns, s.start_ns + s.wall_ns);
+    }
+    for (std::size_t shard = 0; shard < w.shards.size(); ++shard) {
+      const ShardWindowSample& s = w.shards[shard];
+      sep();
+      out << "{\"name\":\"window " << w.window_index
+          << "\",\"cat\":\"shard.window\",\"ph\":\"X\",\"ts\":"
+          << emit_ts(base_ns + s.start_ns) << ",\"dur\":" << emit_ts(s.wall_ns)
+          << ",\"pid\":1,\"tid\":" << shard << ",\"args\":{\"window\":"
+          << w.window_index << ",\"virtual_start\":" << w.virtual_start
+          << ",\"virtual_end\":" << w.virtual_end
+          << ",\"dispatched\":" << s.dispatched
+          << ",\"handoffs_out\":" << s.handoffs_out
+          << ",\"handoffs_in\":" << s.handoffs_in
+          << ",\"queue_depth\":" << ShortestDouble(s.queue_depth) << "}}";
+      // The idle tail: this shard finished, the barrier had not. Rendering
+      // it makes stragglers visible as the only track with no gap.
+      const std::uint64_t end_ns = s.start_ns + s.wall_ns;
+      if (end_ns < window_span_ns) {
+        sep();
+        out << "{\"name\":\"barrier\",\"cat\":\"shard.barrier\",\"ph\":\"X\","
+            << "\"ts\":" << emit_ts(base_ns + end_ns)
+            << ",\"dur\":" << emit_ts(window_span_ns - end_ns)
+            << ",\"pid\":1,\"tid\":" << shard << ",\"args\":{\"window\":"
+            << w.window_index << ",\"stall_ns\":" << s.stall_ns << "}}";
+      }
+    }
+    sep();
+    out << "{\"name\":\"merge " << w.window_index
+        << "\",\"cat\":\"shard.merge\",\"ph\":\"X\",\"ts\":"
+        << emit_ts(base_ns + window_span_ns)
+        << ",\"dur\":" << emit_ts(w.merge_wall_ns)
+        << ",\"pid\":1,\"tid\":" << merge_tid << ",\"args\":{\"window\":"
+        << w.window_index << ",\"handoffs\":" << w.merge_handoffs << "}}";
+    base_ns += window_span_ns + w.merge_wall_ns;
+  }
+  out << "\n]}\n";
+}
+
 std::optional<SpanRecord> ParseSpanLine(std::string_view line) {
   const auto trace_hex = FindStringField(line, "trace");
   if (!trace_hex) return std::nullopt;

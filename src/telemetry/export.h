@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/stats.h"
+#include "telemetry/shard_metrics.h"
 #include "telemetry/span.h"
 
 namespace viator::telemetry {
@@ -51,6 +52,17 @@ void WriteSpansJsonl(const std::vector<SpanRecord>& spans, std::ostream& out);
 /// precision kept in three decimals, pid is 1, tid is the ship id.
 void WriteTraceEventJson(const std::vector<SpanRecord>& spans,
                          std::ostream& out);
+
+/// Chrome/Perfetto trace_event JSON of the Shard Observatory's retained
+/// windows as a real parallel timeline: one named track per shard (tid =
+/// shard id) plus a "merge" track, window slices placed at each shard's
+/// measured wall offsets, "barrier" slices covering the stall until the
+/// window's slowest shard finished, and one merge slice per window. Wall
+/// time accumulates across windows so the timeline reads left to right as
+/// the run actually executed. Args carry dispatched/handoff counts, queue
+/// depth and the window's virtual-time span.
+void WriteShardTimelineJson(const ShardObservatory& observatory,
+                            std::ostream& out);
 
 /// Parses one exported line (either format above) back into a SpanRecord.
 /// Returns nullopt for lines that are not span events (headers, brackets).

@@ -1,0 +1,89 @@
+#include "telemetry/perf_counters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/perf_stats.h"
+
+namespace viator::telemetry::perf {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kSimDispatch: return "perf.sim_dispatch";
+    case Metric::kRngDraw: return "perf.rng_draw";
+    case Metric::kRouteNextHop: return "perf.route_next_hop";
+    case Metric::kGatewayRoute: return "perf.gateway_route";
+    case Metric::kMailboxPush: return "perf.mailbox_push";
+    case Metric::kMailboxDrain: return "perf.mailbox_drain";
+    case Metric::kExecutorWindow: return "perf.executor_window";
+    case Metric::kExecutorPost: return "perf.executor_post";
+    case Metric::kBarrierWait: return "perf.barrier_wait";
+    case Metric::kMergeWindow: return "perf.merge_window";
+    case Metric::kCount: break;
+  }
+  return "perf.unknown";
+}
+
+}  // namespace viator::telemetry::perf
+
+namespace viator::telemetry {
+
+void PublishPerfStats(sim::StatsRegistry& stats,
+                      const std::array<perf::Counter, perf::kMetricCount>&
+                          aggregate) {
+  // Gauges, following the profiler.* precedent: published values are
+  // point-in-time mirrors of the aggregate, so re-publishing after more
+  // windows overwrites instead of double-counting.
+  for (std::size_t i = 0; i < perf::kMetricCount; ++i) {
+    const std::string base =
+        perf::MetricName(static_cast<perf::Metric>(i));
+    const perf::Counter& c = aggregate[i];
+    stats.GetGauge(base + ".calls").Set(static_cast<double>(c.calls));
+    stats.GetGauge(base + ".cycles").Set(static_cast<double>(c.cycles));
+    stats.GetGauge(base + ".max_cycles")
+        .Set(static_cast<double>(c.max_cycles));
+  }
+}
+
+void PublishPerfStats(sim::StatsRegistry& stats) {
+  PublishPerfStats(stats, perf::Aggregate());
+}
+
+std::string FormatPerfReport(
+    const std::array<perf::Counter, perf::kMetricCount>& aggregate) {
+  std::uint64_t total_cycles = 0;
+  for (const perf::Counter& c : aggregate) total_cycles += c.cycles;
+
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-22s %12s %16s %10s %12s %7s\n",
+                "probe", "calls", "cycles", "cyc/call", "max", "share");
+  out << line;
+  for (std::size_t i = 0; i < perf::kMetricCount; ++i) {
+    const perf::Counter& c = aggregate[i];
+    if (c.calls == 0) continue;
+    const double per_call =
+        static_cast<double>(c.cycles) / static_cast<double>(c.calls);
+    const double share =
+        total_cycles == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(c.cycles) /
+                  static_cast<double>(total_cycles);
+    std::snprintf(line, sizeof(line),
+                  "%-22s %12llu %16llu %10.1f %12llu %6.1f%%\n",
+                  perf::MetricName(static_cast<perf::Metric>(i)),
+                  static_cast<unsigned long long>(c.calls),
+                  static_cast<unsigned long long>(c.cycles), per_call,
+                  static_cast<unsigned long long>(c.max_cycles), share);
+    out << line;
+  }
+  if (out.str().find('%') == std::string::npos) {
+    out << "(no probes fired: counters disabled or nothing ran)\n";
+  }
+  return out.str();
+}
+
+std::string FormatPerfReport() { return FormatPerfReport(perf::Aggregate()); }
+
+}  // namespace viator::telemetry

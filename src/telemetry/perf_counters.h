@@ -1,0 +1,230 @@
+// Cycle-level performance counters for the hot paths of the simulation core,
+// in the style of nginx-vod's ngx_perf_counters: a fixed enum of probe
+// points, per-thread counter blocks (no sharing, no atomics on the hot
+// path), and an rdtsc-based cycle clock with a steady_clock fallback.
+//
+// Cost contract (docs/PERF.md):
+//  - compile-time off (-DVIATOR_PERF_COUNTERS=0): every probe macro expands
+//    to nothing — zero instructions, zero bytes, provably (see
+//    tests/test_perf_compiled_out.cpp);
+//  - runtime off (the default): one relaxed atomic load + predicted branch
+//    per probe;
+//  - runtime on: two cycle-clock reads per timed probe, one increment per
+//    counting probe, all against this thread's private block.
+//
+// Determinism contract: counter values are measurements of the host
+// machine. They never feed a simulation decision, never enter snapshots or
+// journals, and never appear in any hash — a counters-on run and a
+// counters-off run of the same seed make bit-identical decisions
+// (ReplayNeutrality, gated by bench_shard_observatory).
+//
+// This header is deliberately self-contained (no sim/net/core includes) so
+// the layers below telemetry — base/rng.cpp, sim/simulator.cpp — can embed
+// probes without inverting the library dependency order: everything is
+// inline or thread_local; the only out-of-line helpers (report formatting,
+// StatsRegistry publication) live in perf_counters.cpp inside
+// viator_telemetry, which only upper layers call.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if !defined(VIATOR_PERF_COUNTERS)
+#define VIATOR_PERF_COUNTERS 1
+#endif
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace viator::telemetry::perf {
+
+/// The instrumented hot paths. Extend here, name in MetricName(), probe at
+/// the call site — the aggregation, export and report layers pick new
+/// entries up automatically.
+enum class Metric : std::uint8_t {
+  kSimDispatch = 0,   // one simulator event: pop, tombstone check, callback
+  kRngDraw,           // one raw xoshiro draw (counted, not timed)
+  kRouteNextHop,      // per-hop next-hop lookup in WanderingNetwork::Dispatch
+  kGatewayRoute,      // boundary-handler routing of a cross-shard shuttle
+  kMailboxPush,       // stripe lock acquire + deposit of one handoff
+  kMailboxDrain,      // barrier drain + deterministic sort of all stripes
+  kExecutorWindow,    // one shard's RunUntil(window_end) on its worker
+  kExecutorPost,      // post-window task (per-shard state hash)
+  kBarrierWait,       // caller blocked waiting for the window's last shard
+  kMergeWindow,       // single-threaded handoff merge at the barrier
+  kCount,
+};
+
+inline constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(Metric::kCount);
+
+/// Stable dotted metric name ("perf.sim_dispatch"), the exporters' key.
+const char* MetricName(Metric metric);
+
+/// One probe point's accumulated cost on one thread.
+struct Counter {
+  std::uint64_t calls = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t max_cycles = 0;
+};
+
+/// Per-thread counter block. Written only by its owning thread; read (and
+/// zeroed) by Registry under its lock, which callers must only do while the
+/// writing threads are quiescent (e.g. at a window barrier) — the executor's
+/// own synchronization then orders the accesses.
+struct ThreadBlock {
+  std::array<Counter, kMetricCount> counters{};
+};
+
+/// Cycle clock: rdtsc where available (x86-64; ~20 cycles, monotonic enough
+/// for deltas on any post-2008 part with constant_tsc), otherwise
+/// steady_clock nanoseconds. Units are "ticks" either way — ratios and
+/// shares are meaningful, absolute values are host-specific diagnostics.
+inline std::uint64_t Cycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+/// The runtime switch. Off (default): every probe costs one predicted
+/// branch. Flip it around a measured region; per-thread counts accumulate
+/// until ResetAll().
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Owns every thread's block for the lifetime of the process (blocks of
+/// finished threads are retained so their counts stay in the aggregate).
+/// Leaked singleton: probes must stay valid during static destruction.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry;  // intentionally leaked
+    return *instance;
+  }
+
+  /// Creates and adopts the calling thread's block.
+  ThreadBlock* Attach() {
+    auto block = std::make_unique<ThreadBlock>();
+    ThreadBlock* raw = block.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocks_.push_back(std::move(block));
+    return raw;
+  }
+
+  /// Sum of every thread's counters. Call only while instrumented threads
+  /// are quiescent (see ThreadBlock).
+  std::array<Counter, kMetricCount> Aggregate() const {
+    std::array<Counter, kMetricCount> total{};
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& block : blocks_) {
+      for (std::size_t i = 0; i < kMetricCount; ++i) {
+        const Counter& c = block->counters[i];
+        total[i].calls += c.calls;
+        total[i].cycles += c.cycles;
+        if (c.max_cycles > total[i].max_cycles) {
+          total[i].max_cycles = c.max_cycles;
+        }
+      }
+    }
+    return total;
+  }
+
+  /// The scenario reset hook: zeroes every thread's block so successive
+  /// scenarios in one process start from a clean slate instead of
+  /// inheriting the previous run's counts. Same quiescence requirement as
+  /// Aggregate().
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& block : blocks_) block->counters.fill(Counter{});
+  }
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBlock>> blocks_;
+};
+
+inline ThreadBlock& LocalBlock() {
+  thread_local ThreadBlock* block = Registry::Instance().Attach();
+  return *block;
+}
+
+/// Convenience forwarders for the common calls.
+inline std::array<Counter, kMetricCount> Aggregate() {
+  return Registry::Instance().Aggregate();
+}
+inline void ResetAll() { Registry::Instance().ResetAll(); }
+
+/// Counting probe body (untimed): one branch off, branch + increment on.
+inline void Count(Metric metric) {
+  if (!Enabled()) return;
+  ++LocalBlock().counters[static_cast<std::size_t>(metric)].calls;
+}
+
+/// Records one timed sample (used by Timer; callable directly when the
+/// caller already has a cycle delta).
+inline void Record(Metric metric, std::uint64_t cycles) {
+  if (!Enabled()) return;
+  Counter& c = LocalBlock().counters[static_cast<std::size_t>(metric)];
+  ++c.calls;
+  c.cycles += cycles;
+  if (cycles > c.max_cycles) c.max_cycles = cycles;
+}
+
+/// RAII timed probe: samples Cycles() on entry and exit. The enabled check
+/// happens once, at construction — flipping the switch mid-scope loses or
+/// keeps that one sample, never corrupts.
+class Timer {
+ public:
+  explicit Timer(Metric metric) : metric_(metric), armed_(Enabled()) {
+    if (armed_) start_ = Cycles();
+  }
+  ~Timer() {
+    if (armed_) Record(metric_, Cycles() - start_);
+  }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+ private:
+  Metric metric_;
+  bool armed_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace viator::telemetry::perf
+
+// The probe macros instrumented code uses. With VIATOR_PERF_COUNTERS=0 they
+// expand to nothing at all — the compiled-out contract.
+#if VIATOR_PERF_COUNTERS
+#define VIATOR_PERF_CAT2(a, b) a##b
+#define VIATOR_PERF_CAT(a, b) VIATOR_PERF_CAT2(a, b)
+#define VIATOR_PERF_SCOPE(metric)                    \
+  ::viator::telemetry::perf::Timer VIATOR_PERF_CAT(  \
+      viator_perf_timer_, __LINE__)(::viator::telemetry::perf::Metric::metric)
+#define VIATOR_PERF_COUNT(metric) \
+  ::viator::telemetry::perf::Count(::viator::telemetry::perf::Metric::metric)
+#else
+#define VIATOR_PERF_SCOPE(metric) ((void)0)
+#define VIATOR_PERF_COUNT(metric) ((void)0)
+#endif

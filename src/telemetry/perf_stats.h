@@ -1,0 +1,33 @@
+// Upper-layer helpers over the header-only perf counter core
+// (telemetry/perf_counters.h): publication into a StatsRegistry — which
+// flows through every exporter, Prometheus headers included — and a
+// human-readable cost table. Split from the core header so base/sim can
+// embed probes without linking viator_telemetry.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/stats.h"
+#include "telemetry/perf_counters.h"
+
+namespace viator::telemetry {
+
+/// Mirrors a perf aggregate into `stats` as gauges — three per probe:
+/// `perf.<probe>.calls`, `perf.<probe>.cycles`, `perf.<probe>.max_cycles`.
+/// Idempotent (Set, not Add): safe to call after every window batch.
+void PublishPerfStats(sim::StatsRegistry& stats,
+                      const std::array<perf::Counter, perf::kMetricCount>&
+                          aggregate);
+
+/// Convenience form over the live process-wide aggregate. Call only while
+/// instrumented threads are quiescent (see perf::Registry::Aggregate).
+void PublishPerfStats(sim::StatsRegistry& stats);
+
+/// Fixed-width cost table: calls, cycles, cycles/call, max, share of all
+/// counted cycles. Probes with zero calls are omitted.
+std::string FormatPerfReport(
+    const std::array<perf::Counter, perf::kMetricCount>& aggregate);
+std::string FormatPerfReport();
+
+}  // namespace viator::telemetry

@@ -1,0 +1,45 @@
+// The compiled-out half of the perf-counter cost contract (docs/PERF.md):
+// this translation unit is built with -DVIATOR_PERF_COUNTERS=0 (see
+// tests/CMakeLists.txt), so the probe macros must expand to nothing at all —
+// no probe can fire even with the runtime switch forced on, and the macros
+// must still parse everywhere a statement can appear.
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/perf_counters.h"
+
+#if VIATOR_PERF_COUNTERS
+#error "this test must be compiled with -DVIATOR_PERF_COUNTERS=0"
+#endif
+
+namespace viator {
+namespace {
+
+std::uint64_t InstrumentedWork(std::uint64_t n) {
+  VIATOR_PERF_SCOPE(kSimDispatch);
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VIATOR_PERF_COUNT(kRngDraw);
+    acc += i * 2654435761u;
+  }
+  if (n > 0) VIATOR_PERF_SCOPE(kMergeWindow);  // statement position
+  return acc;
+}
+
+TEST(PerfCompiledOut, NoProbeFiresEvenWithRuntimeSwitchOn) {
+  telemetry::perf::ResetAll();
+  telemetry::perf::SetEnabled(true);
+  EXPECT_NE(InstrumentedWork(1000), 0u);
+  telemetry::perf::SetEnabled(false);
+
+  const auto aggregate = telemetry::perf::Aggregate();
+  for (std::size_t i = 0; i < telemetry::perf::kMetricCount; ++i) {
+    EXPECT_EQ(aggregate[i].calls, 0u) << telemetry::perf::MetricName(
+        static_cast<telemetry::perf::Metric>(i));
+    EXPECT_EQ(aggregate[i].cycles, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace viator

@@ -5,6 +5,7 @@
 // certified by the Flight Recorder (identical per-window hash timelines and
 // a clean DivergenceAuditor diff).
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -17,10 +18,12 @@
 
 #include "replay/auditor.h"
 #include "replay/journal.h"
+#include "replay/scenario.h"
 #include "shard/mailbox.h"
 #include "shard/plan.h"
 #include "shard/sharded_network.h"
 #include "telemetry/export.h"
+#include "telemetry/perf_counters.h"
 #include "telemetry/shard_metrics.h"
 
 namespace viator {
@@ -420,12 +423,14 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
                                 {.dispatched = 12,
                                  .handoffs_out = 3,
                                  .handoffs_in = 1,
+                                 .wall_ns = 1200,
                                  .stall_ns = 450,
                                  .queue_depth = 7.0});
   telemetry::PublishShardWindow(stats, 1,
                                 {.dispatched = 5,
                                  .handoffs_out = 1,
                                  .handoffs_in = 3,
+                                 .wall_ns = 1650,
                                  .stall_ns = 0,
                                  .queue_depth = 2.0});
   stats.GetCounter("shard.windows").Add(2);
@@ -438,6 +443,198 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
   std::stringstream expected;
   expected << golden.rdbuf();
   EXPECT_EQ(out.str(), expected.str());
+}
+
+// ---- Degenerate executor configurations ------------------------------------
+
+TEST(ShardedNetwork, MoreThreadsThanShardsIsHarmless) {
+  // 8 worker threads over 2 shards: the surplus threads must idle cleanly
+  // (no deadlock, no stalled barrier) and the decisions must still match
+  // the single-thread reference.
+  net::Topology grid = net::MakeGrid(4, 4);
+  shard::ShardedConfig config;
+  config.shard_count = 2;
+  config.hash_every = 1;
+
+  config.threads = 1;
+  shard::ShardedNetwork reference(grid, config);
+  config.threads = 8;
+  shard::ShardedNetwork oversubscribed(grid, config);
+  for (auto* world : {&reference, &oversubscribed}) {
+    ASSERT_TRUE(world->Inject(0, 15, {1}, 1).ok());
+    world->RunUntilQuiescent(64);
+  }
+  EXPECT_EQ(oversubscribed.Delivered(), 1u);
+  EXPECT_EQ(oversubscribed.StateHash(), reference.StateHash());
+  EXPECT_EQ(oversubscribed.journal().rolling_digest(),
+            reference.journal().rolling_digest());
+}
+
+TEST(ShardedNetwork, SingleShardPlanRunsAndReportsBalanced) {
+  // One shard means no cross links, the default window length, no handoffs
+  // — and an imbalance index of exactly 1.0 (a single shard cannot be
+  // imbalanced against itself).
+  net::Topology grid = net::MakeGrid(4, 4);
+  shard::ShardedConfig config;
+  config.shard_count = 1;
+  config.threads = 2;
+  shard::ShardedNetwork world(grid, config);
+  EXPECT_EQ(world.window(), config.default_window);
+  ASSERT_TRUE(world.Inject(0, 15, {1}).ok());
+  world.RunUntilQuiescent(64);
+  EXPECT_EQ(world.Delivered(), 1u);
+  EXPECT_EQ(world.stats().CounterValue("shard.handoffs"), 0u);
+  const telemetry::StragglerReport report = world.observatory().Report();
+  EXPECT_EQ(report.shard_count, 1u);
+  EXPECT_DOUBLE_EQ(report.imbalance_events, 1.0);
+  EXPECT_EQ(report.hot_shard_by_events, 0u);
+}
+
+TEST(ShardedNetwork, ZeroEventWindowsReportCleanRatios) {
+  // Windows with nothing to dispatch must not stall and must never produce
+  // NaN in the observatory's ratios (zero-denominator contract).
+  net::Topology grid = net::MakeGrid(4, 4);
+  shard::ShardedConfig config;
+  config.shard_count = 2;
+  config.threads = 2;
+  shard::ShardedNetwork world(grid, config);
+  EXPECT_EQ(world.RunWindows(8), 0u);
+  EXPECT_EQ(world.window_index(), 8u);
+  const telemetry::StragglerReport report = world.observatory().Report();
+  EXPECT_EQ(report.windows, 8u);
+  EXPECT_DOUBLE_EQ(report.imbalance_events, 1.0);
+  EXPECT_FALSE(std::isnan(report.imbalance_wall));
+  EXPECT_FALSE(std::isnan(report.barrier_stall_ratio));
+  EXPECT_FALSE(std::isnan(report.critical_path_ratio));
+  EXPECT_GE(report.barrier_stall_ratio, 0.0);
+  EXPECT_LE(report.barrier_stall_ratio, 1.0);
+}
+
+// ---- Shard Observatory ------------------------------------------------------
+
+TEST(ShardObservatory, StragglerReportNamesDeliberatelyHotShard) {
+  // All traffic confined to the second row band: the observatory must name
+  // shard 1 as hot by events and report a clearly unbalanced index.
+  net::Topology grid = net::MakeGrid(8, 8);
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = 2;
+  config.assignment = shard::GridRowBands(8, 8, 4);
+  shard::ShardedNetwork world(grid, config);
+  // Band 1 owns rows 2-3 = nodes 16..31.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(world.Inject(16 + i % 16, 16 + (i * 7 + 3) % 16, {1}, i).ok());
+  }
+  world.RunUntilQuiescent(128);
+  const telemetry::StragglerReport report = world.observatory().Report();
+  EXPECT_EQ(report.hot_shard_by_events, 1u);
+  EXPECT_GT(report.imbalance_events, 1.5);
+  const std::string text = report.Format();
+  EXPECT_NE(text.find("<- hot (events)"), std::string::npos);
+  EXPECT_NE(text.find("straggler: shard 1 by events"), std::string::npos);
+  // Observatory gauges ride the standard stats registry.
+  EXPECT_TRUE(world.stats().gauges().contains("shard.imbalance_events"));
+  EXPECT_TRUE(world.stats().gauges().contains("shard.barrier_stall_ratio"));
+  EXPECT_TRUE(world.stats().gauges().contains("shard.straggler"));
+}
+
+TEST(ShardObservatory, WindowCapacityBoundsRetentionNotTotals) {
+  net::Topology grid = net::MakeGrid(4, 4);
+  shard::ShardedConfig config;
+  config.shard_count = 2;
+  config.threads = 1;
+  config.observatory_window_capacity = 3;
+  shard::ShardedNetwork world(grid, config);
+  ASSERT_TRUE(world.Inject(0, 15, {1}).ok());
+  world.RunWindows(10);
+  const telemetry::ShardObservatory& obs = world.observatory();
+  EXPECT_EQ(obs.windows_seen(), 10u);
+  EXPECT_EQ(obs.windows().size(), 3u);   // retention bounded...
+  EXPECT_EQ(obs.windows_dropped(), 7u);
+  EXPECT_EQ(obs.Report().windows, 10u);  // ...totals still see every window
+}
+
+TEST(ShardObservatory, DisabledObservatoryRecordsNothing) {
+  net::Topology grid = net::MakeGrid(4, 4);
+  shard::ShardedConfig config;
+  config.shard_count = 2;
+  config.threads = 1;
+  config.observatory = false;
+  shard::ShardedNetwork world(grid, config);
+  ASSERT_TRUE(world.Inject(0, 15, {1}).ok());
+  world.RunUntilQuiescent(64);
+  EXPECT_EQ(world.Delivered(), 1u);
+  EXPECT_EQ(world.observatory().windows_seen(), 0u);
+  // The per-shard stats counters still publish regardless.
+  EXPECT_GT(world.stats().CounterValue("shard.0.dispatched"), 0u);
+}
+
+TEST(ShardObservatory, CountersAreReplayNeutral) {
+  // The perf plane observes, it must not steer: the same world with perf
+  // counters enabled and disabled produces identical journals and hashes.
+  net::Topology grid = net::MakeGrid(8, 8);
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = 4;
+  config.hash_every = 1;
+  config.assignment = shard::GridRowBands(8, 8, 4);
+
+  telemetry::perf::ResetAll();
+  telemetry::perf::SetEnabled(false);
+  shard::ShardedNetwork quiet(grid, config);
+  RunReferenceWorkload(quiet);
+
+  telemetry::perf::SetEnabled(true);
+  shard::ShardedNetwork counted(grid, config);
+  RunReferenceWorkload(counted);
+  telemetry::perf::SetEnabled(false);
+
+  EXPECT_EQ(quiet.journal().rolling_digest(),
+            counted.journal().rolling_digest());
+  EXPECT_EQ(quiet.StateHash(), counted.StateHash());
+  ASSERT_EQ(quiet.journal().window_hashes().size(),
+            counted.journal().window_hashes().size());
+  // And the counted run actually counted something.
+  const auto aggregate = telemetry::perf::Aggregate();
+  using telemetry::perf::Metric;
+  EXPECT_GT(aggregate[static_cast<std::size_t>(Metric::kSimDispatch)].calls,
+            0u);
+  EXPECT_GT(aggregate[static_cast<std::size_t>(Metric::kExecutorWindow)].calls,
+            0u);
+  EXPECT_GT(aggregate[static_cast<std::size_t>(Metric::kMergeWindow)].calls,
+            0u);
+  // threads=4 takes the pooled path, so the barrier probe must have fired
+  // (the sequential reference path never waits on the barrier).
+  EXPECT_GT(aggregate[static_cast<std::size_t>(Metric::kBarrierWait)].calls,
+            0u);
+  telemetry::perf::ResetAll();
+}
+
+TEST(PerfCounters, ResetPerScenario) {
+  // Regression test for the scenario-bleed bug: perf counters accumulated
+  // across successive ReplayWorld scenarios in one process, so the second
+  // scenario's report included the first's probe counts. Constructing a
+  // populated ReplayWorld must reset the process-wide blocks.
+  telemetry::perf::ResetAll();
+  telemetry::perf::SetEnabled(true);
+  replay::ScenarioConfig scenario;
+  scenario.rows = 4;
+  scenario.cols = 4;
+  scenario.injections_per_step = 4;
+  {
+    replay::ReplayWorld world(scenario);
+    world.RunToStep(3);
+  }
+  telemetry::perf::SetEnabled(false);
+  using telemetry::perf::Metric;
+  const auto first = telemetry::perf::Aggregate();
+  EXPECT_GT(first[static_cast<std::size_t>(Metric::kRngDraw)].calls, 0u);
+
+  // The second scenario starts from zero, not from the first's counts.
+  replay::ReplayWorld fresh(scenario);
+  const auto after = telemetry::perf::Aggregate();
+  EXPECT_EQ(after[static_cast<std::size_t>(Metric::kRngDraw)].calls, 0u);
+  EXPECT_EQ(after[static_cast<std::size_t>(Metric::kSimDispatch)].calls, 0u);
 }
 
 // ---- Parallel speedup smoke -------------------------------------------------

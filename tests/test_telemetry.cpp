@@ -16,6 +16,8 @@
 #include "sim/simulator.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/export.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/perf_stats.h"
 #include "telemetry/profiler.h"
 #include "telemetry/span.h"
 #include "telemetry/telemetry.h"
@@ -476,6 +478,116 @@ TEST(Escaping, PassThroughForPlainText) {
         telemetry::EscapeStyle::kPrometheusLabel}) {
     EXPECT_EQ(telemetry::Escaped("plain_text-123", style), "plain_text-123");
   }
+}
+
+// ---- Shard Observatory timeline export --------------------------------------
+
+telemetry::ShardWindowRecord MakeWindowRecord(std::uint64_t index) {
+  telemetry::ShardWindowRecord record;
+  record.window_index = index;
+  record.virtual_start = index * 1000;
+  record.virtual_end = (index + 1) * 1000;
+  record.merge_wall_ns = 300;
+  record.merge_handoffs = 2;
+  record.shards.push_back({.dispatched = 10,
+                           .handoffs_out = 1,
+                           .handoffs_in = 1,
+                           .wall_ns = 5000,
+                           .start_ns = 100,
+                           .stall_ns = 0,
+                           .queue_depth = 1.0});
+  record.shards.push_back({.dispatched = 4,
+                           .handoffs_out = 1,
+                           .handoffs_in = 1,
+                           .wall_ns = 2000,
+                           .start_ns = 200,
+                           .stall_ns = 2900,
+                           .queue_depth = 0.0});
+  return record;
+}
+
+TEST(Export, ShardTimelineEmitsOneTrackPerShardPlusMerge) {
+  telemetry::ShardObservatory observatory(2);
+  observatory.RecordWindow(MakeWindowRecord(0));
+  observatory.RecordWindow(MakeWindowRecord(1));
+  std::ostringstream out;
+  telemetry::WriteShardTimelineJson(observatory, out);
+  const std::string json = out.str();
+
+  // Track metadata: one named thread per shard, one merge track after them.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"shard 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"shard 1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"merge\"}"), std::string::npos);
+  // Window slices carry the virtual-time span and per-shard load.
+  EXPECT_NE(json.find("\"name\":\"window 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"window 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"virtual_start\":1000"), std::string::npos);
+  // Shard 1 finished early: it gets a barrier slice; the straggler does not.
+  EXPECT_NE(json.find("\"name\":\"barrier\""), std::string::npos);
+  EXPECT_NE(json.find("\"stall_ns\":2900"), std::string::npos);
+  // Merge slices land on the merge track with their handoff volume.
+  EXPECT_NE(json.find("\"name\":\"merge 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"handoffs\":2"), std::string::npos);
+  // Valid trace shape: object wrapper, µs timestamps with ns precision.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ts\":0.100"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST(Export, ShardTimelineSuccessiveWindowsAbut) {
+  // Window 1 must start after window 0's span plus its merge: shard 0's
+  // window-1 slice begins at (100 + 5000 + 300) + 100 ns = 5.500 µs.
+  telemetry::ShardObservatory observatory(2);
+  observatory.RecordWindow(MakeWindowRecord(0));
+  observatory.RecordWindow(MakeWindowRecord(1));
+  std::ostringstream out;
+  telemetry::WriteShardTimelineJson(observatory, out);
+  EXPECT_NE(out.str().find("\"ts\":5.500"), std::string::npos);
+}
+
+// ---- Perf counter stats publication -----------------------------------------
+
+TEST(PerfStats, PublishAndFormatFiredProbes) {
+  telemetry::perf::ResetAll();
+  telemetry::perf::SetEnabled(true);
+  { VIATOR_PERF_SCOPE(kSimDispatch); }
+  { VIATOR_PERF_SCOPE(kSimDispatch); }
+  VIATOR_PERF_COUNT(kRngDraw);
+  telemetry::perf::SetEnabled(false);
+
+  sim::StatsRegistry stats;
+  telemetry::PublishPerfStats(stats);
+  ASSERT_TRUE(stats.gauges().contains("perf.sim_dispatch.calls"));
+  EXPECT_EQ(stats.gauges().at("perf.sim_dispatch.calls").value(), 2.0);
+  EXPECT_EQ(stats.gauges().at("perf.rng_draw.calls").value(), 1.0);
+  // Publication is Set(), not Add(): publishing twice must not double.
+  telemetry::PublishPerfStats(stats);
+  EXPECT_EQ(stats.gauges().at("perf.sim_dispatch.calls").value(), 2.0);
+
+  const std::string report = telemetry::FormatPerfReport();
+  EXPECT_NE(report.find("perf.sim_dispatch"), std::string::npos);
+  EXPECT_NE(report.find("perf.rng_draw"), std::string::npos);
+  // Zero-call probes are omitted from the table.
+  EXPECT_EQ(report.find("perf.mailbox_drain"), std::string::npos);
+  telemetry::perf::ResetAll();
+}
+
+TEST(PerfStats, EmptyAggregateFormatsPlaceholder) {
+  telemetry::perf::ResetAll();
+  const std::string report = telemetry::FormatPerfReport();
+  EXPECT_NE(report.find("no probes fired"), std::string::npos);
+}
+
+TEST(PerfStats, RuntimeSwitchGatesProbes) {
+  telemetry::perf::ResetAll();
+  telemetry::perf::SetEnabled(false);
+  { VIATOR_PERF_SCOPE(kMergeWindow); }
+  VIATOR_PERF_COUNT(kRngDraw);
+  const auto aggregate = telemetry::perf::Aggregate();
+  using telemetry::perf::Metric;
+  EXPECT_EQ(aggregate[static_cast<std::size_t>(Metric::kMergeWindow)].calls,
+            0u);
+  EXPECT_EQ(aggregate[static_cast<std::size_t>(Metric::kRngDraw)].calls, 0u);
 }
 
 }  // namespace

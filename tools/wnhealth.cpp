@@ -17,12 +17,21 @@
 //                                        gate: exit 4 when BENCH_*.json
 //                                        metrics drift beyond T (default
 //                                        0.25); wall-clock keys are ignored
+//   wnhealth trend  <bench-dir> <out.json>  merge every BENCH_<name>.json in
+//                                        the directory into one flat
+//                                        "<name>.<metric>" JSON — the
+//                                        per-commit bench-trajectory artifact
+//                                        CI archives as BENCH_trend.json
 //
 // Exit codes are CI-stable: 0 pass, 1 I/O error, 2 usage, 4 gate failure.
 // Identical-seed record runs write byte-identical health.jsonl files.
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,7 +55,8 @@ int Usage() {
                "       wnhealth diff   <baseline.jsonl> <current.jsonl>"
                " [--tolerance T]\n"
                "       wnhealth bench  <baseline.json> <current.json>"
-               " [--tolerance T]\n";
+               " [--tolerance T]\n"
+               "       wnhealth trend  <bench-dir> <out.json>\n";
   return 2;
 }
 
@@ -205,6 +215,60 @@ int RunBench(const std::string& base_path, const std::string& cur_path,
   return 0;
 }
 
+int RunTrend(const std::string& bench_dir, const std::string& out_path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> reports;
+  for (const auto& entry : fs::directory_iterator(bench_dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) != 0) continue;
+    if (entry.path().extension() != ".json") continue;
+    if (file == "BENCH_trend.json") continue;  // never fold ourselves back in
+    reports.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "wnhealth: cannot read directory " << bench_dir << "\n";
+    return 1;
+  }
+  std::sort(reports.begin(), reports.end());  // deterministic merge order
+
+  // "<bench>.<metric>" keys: BENCH_health.json's "probes_emitted" becomes
+  // "health.probes_emitted", so one artifact carries every bench's numbers
+  // and stays diffable commit to commit.
+  std::map<std::string, double> merged;
+  for (const fs::path& path : reports) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "wnhealth: cannot open " << path.string() << "\n";
+      return 1;
+    }
+    const std::string stem = path.stem().string();  // BENCH_<name>
+    const std::string bench = stem.substr(std::string("BENCH_").size());
+    for (const auto& [metric, value] : health::ParseFlatJson(in)) {
+      merged[bench + "." + metric] = value;
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "wnhealth: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [metric, value] : merged) {
+    if (!first) out << ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << "  \"" << metric << "\": " << buf;
+  }
+  out << "\n}\n";
+  std::cout << "merged " << reports.size() << " bench reports ("
+            << merged.size() << " metrics) into " << out_path << "\n";
+  return 0;
+}
+
 double ParseToleranceFlag(int argc, char** argv, int from, double fallback) {
   for (int i = from; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--tolerance") return std::stod(argv[i + 1]);
@@ -237,6 +301,10 @@ int main(int argc, char** argv) {
   if (cmd == "bench") {
     if (argc < 4) return Usage();
     return RunBench(argv[2], argv[3], ParseToleranceFlag(argc, argv, 4, 0.25));
+  }
+  if (cmd == "trend") {
+    if (argc < 4) return Usage();
+    return RunTrend(argv[2], argv[3]);
   }
   return Usage();
 }

@@ -11,6 +11,12 @@
 //   wnscope diff    <metrics-a> <metrics-b>  metric-by-metric comparison;
 //                                        exits 0 when identical, 3 when any
 //                                        metric differs (CI-stable contract)
+//   wnscope timeline <out-dir>           run a seeded sharded workload with
+//                                        the perf plane on, write a Perfetto
+//                                        parallel timeline (timeline.json,
+//                                        one track per shard + merge),
+//                                        shard_metrics.prom, and print the
+//                                        straggler + cycle reports
 //
 // Span files may be either the native JSONL or the Chrome trace_event JSON
 // that `record` writes; both parse back identically.
@@ -25,12 +31,15 @@
 #include <string>
 #include <vector>
 
+#include "base/rng.h"
 #include "base/strings.h"
 #include "core/wandering_network.h"
 #include "net/topology.h"
 #include "services/caching.h"
+#include "shard/sharded_network.h"
 #include "sim/simulator.h"
 #include "telemetry/export.h"
+#include "telemetry/perf_stats.h"
 
 namespace {
 
@@ -41,7 +50,8 @@ int Usage() {
                "       wnscope inspect <spans-file>\n"
                "       wnscope filter  <spans-file> <key=value>...\n"
                "       wnscope tree    <spans-file> [trace-hex]\n"
-               "       wnscope diff    <metrics-a> <metrics-b>\n";
+               "       wnscope diff    <metrics-a> <metrics-b>\n"
+               "       wnscope timeline <out-dir>\n";
   return 2;
 }
 
@@ -120,6 +130,58 @@ int RunRecord(const std::string& out_dir) {
   std::cout << "recorded " << spans.size() << " spans across "
             << traces.size() << " traces (" << connected
             << " connected) into " << out_dir << "\n";
+  return 0;
+}
+
+/// Seeded sharded demo with a deliberately hot band: a 16x16 grid cut into 4
+/// row bands, with traffic skewed into band 2, so the straggler report and
+/// the Perfetto timeline have something visible to say.
+int RunTimeline(const std::string& out_dir) {
+  constexpr std::uint64_t kSeed = 515151;
+  net::Topology global = net::MakeGrid(16, 16);
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = 0;  // hardware concurrency: a real parallel timeline
+  config.seed = kSeed;
+  config.assignment = shard::GridRowBands(16, 16, 4);
+  shard::ShardedNetwork world(global, config);
+
+  telemetry::perf::SetEnabled(true);
+  Rng traffic(kSeed ^ 0xabcdef);
+  for (int round = 0; round < 24; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      // Three of four shuttles live entirely inside band 2 (rows 8..11):
+      // the injected imbalance the report must name.
+      const bool hot = (i % 4) != 0;
+      const std::uint64_t lo = hot ? 8 * 16 : 0;
+      const std::uint64_t hi = hot ? 12 * 16 - 1 : 255;
+      const auto src = static_cast<net::NodeId>(traffic.UniformInt(lo, hi));
+      auto dst = static_cast<net::NodeId>(traffic.UniformInt(lo, hi));
+      if (dst == src) dst = static_cast<net::NodeId>(lo + (dst - lo + 1) % 16);
+      (void)world.Inject(src, dst, {round, i}, round * 100 + i + 1);
+    }
+    world.RunWindows(4);
+  }
+  world.RunUntilQuiescent();
+  telemetry::perf::SetEnabled(false);
+
+  std::ofstream timeline_out(out_dir + "/timeline.json");
+  std::ofstream prom_out(out_dir + "/shard_metrics.prom");
+  if (!timeline_out || !prom_out) {
+    std::cerr << "wnscope: cannot write into " << out_dir << "\n";
+    return 1;
+  }
+  telemetry::WriteShardTimelineJson(world.observatory(), timeline_out);
+  telemetry::PublishPerfStats(world.stats());
+  telemetry::WritePrometheusText(world.stats(), prom_out);
+
+  const telemetry::StragglerReport report = world.observatory().Report();
+  std::cout << report.Format() << "\n"
+            << telemetry::FormatPerfReport() << "recorded "
+            << world.observatory().windows().size() << " of "
+            << report.windows << " windows into " << out_dir
+            << "/timeline.json (load in ui.perfetto.dev)\n";
+  telemetry::perf::ResetAll();
   return 0;
 }
 
@@ -246,6 +308,7 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "record") return RunRecord(argv[2]);
+  if (cmd == "timeline") return RunTimeline(argv[2]);
   if (cmd == "inspect") return RunInspect(argv[2]);
   if (cmd == "filter") {
     return RunFilter(argv[2],
