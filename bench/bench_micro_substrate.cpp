@@ -5,6 +5,10 @@
 // over a 256x256 grid, recording events/sec and speedup (wall metrics, never
 // gated) alongside the deterministic event/handoff/window counters that the
 // CI bench gate pins against bench/baselines/BENCH_micro_substrate.json.
+// Plus the dispatch tier: 10k+ ships on a 104x104 grid draining column
+// flows with the route cache off vs on — equal deterministic counters prove
+// the cache decision-identical while VIATOR_REQUIRE_SPEEDUP enforces its
+// 2x dispatch-throughput win.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -18,6 +22,8 @@
 #include "base/tlv.h"
 #include "core/facts.h"
 #include "core/genetic_transcoder.h"
+#include "core/ship.h"
+#include "core/wandering_network.h"
 #include "net/topology.h"
 #include "shard/plan.h"
 #include "shard/sharded_network.h"
@@ -315,6 +321,139 @@ bool RunShardedSweep(telemetry::BenchReport& report) {
   return ok;
 }
 
+// ---- Dispatch tier ----------------------------------------------------------
+
+struct DispatchRun {
+  double seconds = 0.0;
+  std::uint64_t events = 0;     // simulator dispatches during the drain
+  std::uint64_t delivered = 0;  // shuttles consumed at their destinations
+  std::uint64_t hits = 0;       // route-cache hits (cached leg only)
+  std::uint64_t misses = 0;     // route-cache row fills (cached leg only)
+};
+
+/// One dispatch run: a populated side x side WanderingNetwork (one server
+/// ship per node — the 10k-ship scale claim), `flows` top-to-bottom column
+/// flows each injected `rounds` times, then RunAll to drain. Every forward
+/// goes through Topology::NextHop, so the cached leg fills one first-hop row
+/// per forwarding source and rides hits from then on, while the uncached leg
+/// pays a fresh per-pair BFS on every hop. Only the drain is timed — world
+/// construction and injection are setup, not dispatch.
+DispatchRun RunDispatchTier(std::size_t side, std::uint64_t flows,
+                            std::uint64_t rounds, bool cache_on) {
+  sim::Simulator simulator;
+  net::Topology grid = net::MakeGrid(side, side);
+  grid.SetRouteCacheEnabled(cache_on);
+  // Column flows touch flows*side distinct forwarding sources; keep them all
+  // resident so the cached leg measures the steady-state hit path, not LRU
+  // churn (capacity pressure has its own ctest coverage).
+  grid.SetRouteCacheCapacity(flows * side + 1);
+  wli::WnConfig config;
+  wli::WanderingNetwork network(simulator, grid, config, /*seed=*/42);
+  network.PopulateAllNodes();
+
+  const std::uint64_t spacing = side / flows;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::uint64_t f = 0; f < flows; ++f) {
+      // Straight column routes: the unique shortest path from (0, col) to
+      // (side-1, col) is the column itself, so the legs are trivially
+      // comparable and the hop count per shuttle is exactly side-1.
+      const auto col = static_cast<net::NodeId>(f * spacing + spacing / 2);
+      wli::Shuttle shuttle =
+          wli::Shuttle::Data(col, static_cast<net::NodeId>(
+                                      (side - 1) * side + col),
+                             {static_cast<std::int64_t>(r)}, /*flow=*/f);
+      shuttle.header.ttl = 255;  // column routes are side-1 hops; outlive 64
+      (void)network.Inject(std::move(shuttle));
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t events = simulator.RunAll();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  DispatchRun run;
+  run.seconds = std::chrono::duration<double>(elapsed).count();
+  run.events = events;
+  network.ForEachShip([&run](wli::Ship& ship) {
+    run.delivered += ship.shuttles_consumed();
+  });
+  run.hits = grid.route_cache_stats().hits;
+  run.misses = grid.route_cache_stats().misses;
+  return run;
+}
+
+/// Cache-off vs cache-on legs over the same seeded 10k-ship world. Equal
+/// event and delivery counts prove the route cache decision-identical to
+/// BFS-per-hop at scale; the wall rates measure its win. The deterministic
+/// counters land in the committed baseline; rates and the speedup carry
+/// gate-exempt names ("per_sec", "speedup"). With VIATOR_REQUIRE_SPEEDUP set
+/// the cached leg must clear 2x the uncached event rate.
+bool RunDispatchSweep(telemetry::BenchReport& report) {
+  const std::size_t side = EnvOr("VIATOR_DISPATCH_SIDE", 104);
+  const std::uint64_t flows = EnvOr("VIATOR_DISPATCH_FLOWS", 8);
+  const std::uint64_t rounds = EnvOr("VIATOR_DISPATCH_ROUNDS", 32);
+  report.Set("dispatch.grid_side", static_cast<double>(side));
+  report.Set("dispatch.ships", static_cast<double>(side * side));
+  report.Set("dispatch.flows", static_cast<double>(flows));
+  report.Set("dispatch.rounds", static_cast<double>(rounds));
+
+  const DispatchRun uncached = RunDispatchTier(side, flows, rounds, false);
+  const DispatchRun cached = RunDispatchTier(side, flows, rounds, true);
+  const auto rate = [](const DispatchRun& run) {
+    return run.seconds > 0.0 ? static_cast<double>(run.events) / run.seconds
+                             : 0.0;
+  };
+  const double uncached_rate = rate(uncached);
+  const double cached_rate = rate(cached);
+  const double speedup =
+      uncached_rate > 0.0 ? cached_rate / uncached_rate : 0.0;
+  std::printf("dispatch cache=off: %llu events in %.3fs (%.0f events/s)\n",
+              static_cast<unsigned long long>(uncached.events),
+              uncached.seconds, uncached_rate);
+  std::printf(
+      "dispatch cache=on:  %llu events in %.3fs (%.0f events/s, "
+      "%llu hits / %llu fills)\n",
+      static_cast<unsigned long long>(cached.events), cached.seconds,
+      cached_rate, static_cast<unsigned long long>(cached.hits),
+      static_cast<unsigned long long>(cached.misses));
+  std::printf("dispatch speedup cached/uncached: %.2fx\n", speedup);
+
+  report.Set("dispatch.events", static_cast<double>(cached.events));
+  report.Set("dispatch.delivered", static_cast<double>(cached.delivered));
+  report.Set("dispatch.cache_hits", static_cast<double>(cached.hits));
+  report.Set("dispatch.cache_misses", static_cast<double>(cached.misses));
+  report.Set("dispatch.events_per_sec.cached", cached_rate);
+  report.Set("dispatch.events_per_sec.uncached", uncached_rate);
+  report.Set("dispatch.speedup", speedup);
+
+  bool ok = true;
+  if (uncached.events != cached.events ||
+      uncached.delivered != cached.delivered) {
+    std::fprintf(stderr,
+                 "dispatch tier: cache changed behavior (events %llu vs "
+                 "%llu, delivered %llu vs %llu)\n",
+                 static_cast<unsigned long long>(uncached.events),
+                 static_cast<unsigned long long>(cached.events),
+                 static_cast<unsigned long long>(uncached.delivered),
+                 static_cast<unsigned long long>(cached.delivered));
+    ok = false;
+  }
+  if (cached.delivered < flows * rounds) {
+    std::fprintf(stderr,
+                 "dispatch tier: only %llu of %llu shuttles delivered\n",
+                 static_cast<unsigned long long>(cached.delivered),
+                 static_cast<unsigned long long>(flows * rounds));
+    ok = false;
+  }
+  if (std::getenv("VIATOR_REQUIRE_SPEEDUP") != nullptr && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "dispatch tier: speedup %.2fx below the required 2.0x\n",
+                 speedup);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,6 +463,7 @@ int main(int argc, char** argv) {
   JsonCaptureReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   const bool sharded_ok = RunShardedSweep(report);
+  const bool dispatch_ok = RunDispatchSweep(report);
   (void)report.Write();
-  return sharded_ok ? 0 : 1;
+  return (sharded_ok && dispatch_ok) ? 0 : 1;
 }

@@ -1,0 +1,179 @@
+// Sorted-vector map replacements for hot-path std::map uses.
+//
+// Two flavors:
+//
+//  * FlatMap<K, V>     — a sorted vector of (key, value) pairs with a
+//    std::map-compatible API subset. One contiguous allocation, binary-search
+//    lookups, linear memmove on insert/erase: the right trade for the small,
+//    read-mostly tables on the routing data path (per-node route tables are
+//    dozens of entries, probed on every hop, mutated a few times a second).
+//    Iteration order is ascending key order — identical to std::map — so
+//    MixDigest folds and genesis snapshot bytes are unchanged by the swap.
+//
+//  * FlatNameMap<T>    — a sorted vector of (name, unique_ptr<T>) rows for
+//    the StatsRegistry: string_view binary-search lookups without allocation,
+//    lexicographic iteration (Prometheus export order preserved), and
+//    pointer-stable values — callers cache Counter*/Histogram* across
+//    arbitrary registry growth, exactly as std::map guaranteed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace viator::base {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  iterator find(const K& key) {
+    auto it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  const_iterator find(const K& key) const {
+    auto it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  bool contains(const K& key) const { return find(key) != end(); }
+
+  V& operator[](const K& key) {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.insert(it, value_type(key, V{}));
+    }
+    return it->second;
+  }
+
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+  std::size_t erase(const K& key) {
+    auto it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+template <typename T>
+class FlatNameMap {
+  struct Row;
+
+ public:
+  /// Finds or creates the named value. The returned reference (and the
+  /// address behind it) stays valid for the map's lifetime: values live
+  /// behind unique_ptrs, only the index vector moves.
+  T& GetOrCreate(std::string_view name) {
+    auto it = LowerBound(name);
+    if (it == rows_.end() || it->name != name) {
+      it = rows_.insert(it, Row{std::string(name), std::make_unique<T>()});
+    }
+    return *it->value;
+  }
+
+  const T* Find(std::string_view name) const {
+    auto it = LowerBound(name);
+    return it != rows_.end() && it->name == name ? it->value.get() : nullptr;
+  }
+
+  bool contains(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// Precondition: the name exists (std::map::at contract).
+  const T& at(std::string_view name) const { return *Find(name); }
+
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Const iteration in lexicographic name order, yielding
+  // pair<const std::string&, const T&> so existing structured-binding loops
+  // (`for (const auto& [name, metric] : reg.counters())`) compile unchanged.
+  class const_iterator {
+   public:
+    using reference = std::pair<const std::string&, const T&>;
+
+    reference operator*() const { return {row_->name, *row_->value}; }
+    struct ArrowProxy {
+      reference pair;
+      const reference* operator->() const { return &pair; }
+    };
+    ArrowProxy operator->() const { return ArrowProxy{**this}; }
+    const_iterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return row_ == other.row_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return row_ != other.row_;
+    }
+
+   private:
+    friend class FlatNameMap;
+    explicit const_iterator(const Row* row) : row_(row) {}
+    const Row* row_;
+  };
+
+  const_iterator begin() const { return const_iterator(rows_.data()); }
+  const_iterator end() const {
+    return const_iterator(rows_.data() + rows_.size());
+  }
+  const_iterator find(std::string_view name) const {
+    auto it = LowerBound(name);
+    if (it != rows_.end() && it->name == name) {
+      return const_iterator(rows_.data() + (it - rows_.begin()));
+    }
+    return end();
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::unique_ptr<T> value;
+  };
+
+  typename std::vector<Row>::const_iterator LowerBound(
+      std::string_view name) const {
+    return std::lower_bound(
+        rows_.begin(), rows_.end(), name,
+        [](const Row& row, std::string_view n) { return row.name < n; });
+  }
+  typename std::vector<Row>::iterator LowerBound(std::string_view name) {
+    return std::lower_bound(
+        rows_.begin(), rows_.end(), name,
+        [](const Row& row, std::string_view n) { return row.name < n; });
+  }
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace viator::base

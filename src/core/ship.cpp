@@ -47,6 +47,7 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
     // every forwarded message.
     if (shuttle.header.ttl == 0) {
       network_.stats().GetCounter("wn.ttl_expired").Add();
+      network_.shuttle_pool().Release(std::move(shuttle));
       return;
     }
     --shuttle.header.ttl;
@@ -70,6 +71,9 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
     return;
   }
   Consume(shuttle, arrived_from);
+  // The shuttle dies here: recycle its shell (buffer capacity) for the next
+  // sender instead of freeing it.
+  network_.shuttle_pool().Release(std::move(shuttle));
 }
 
 void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
@@ -446,8 +450,11 @@ Result<std::int64_t> Ship::Invoke(vm::Syscall id,
     case Syscall::kSendValue: {
       const auto dst = static_cast<net::NodeId>(args[0]);
       if (dst >= network_.topology().node_count()) return std::int64_t{0};
-      Shuttle out = Shuttle::Data(id_, dst, {args[2]},
-                                  static_cast<std::uint64_t>(args[1]));
+      // Pool-backed send: kSendValue is the workload inner loop, and a
+      // recycled shell makes the reply allocation-free at steady state.
+      const std::int64_t word[] = {args[2]};
+      Shuttle out = network_.shuttle_pool().AcquireData(
+          id_, dst, word, static_cast<std::uint64_t>(args[1]));
       if (current_shuttle_ != nullptr) out.trace = current_shuttle_->trace;
       return static_cast<std::int64_t>(SendShuttle(std::move(out)).ok());
     }

@@ -18,6 +18,10 @@ WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
       // never consumes draws from (or correlates with) the network stream.
       telemetry_(simulator, config.telemetry, seed ^ 0xd6e8feb86659fd93ULL),
       fabric_(simulator, topology, Rng(seed ^ 0x5bd1e995), stats_),
+      shuttles_injected_(stats_.GetCounter("wn.shuttles_injected")),
+      excluded_dropped_(stats_.GetCounter("wn.excluded_dropped")),
+      router_absorbed_(stats_.GetCounter("wn.router_absorbed")),
+      unroutable_(stats_.GetCounter("wn.unroutable")),
       reputation_(config.reputation),
       overlays_(topology),
       horizontal_(config.horizontal),
@@ -35,9 +39,11 @@ Ship& WanderingNetwork::AddShip(net::NodeId node, node::ShipClass ship_class) {
         *this, node, ship_class, config_.quota,
         node::Capabilities::ForGeneration(config_.generation), rng_.Fork());
     ++ship_count_;
-    fabric_.SetReceiveHandler(node, [this, node](const net::Frame& frame) {
-      if (const auto* shuttle = std::any_cast<Shuttle>(&frame.payload)) {
-        ships_[node]->Receive(*shuttle, frame.from);
+    fabric_.SetReceiveHandler(node, [this, node](net::Frame& frame) {
+      // The frame is ours to consume: moving the shuttle out of the payload
+      // saves a deep copy (code image + payload + genome) on every hop.
+      if (auto* shuttle = std::any_cast<Shuttle>(&frame.payload)) {
+        ships_[node]->Receive(std::move(*shuttle), frame.from);
       }
     });
   }
@@ -101,7 +107,7 @@ Status WanderingNetwork::Inject(Shuttle shuttle) {
     ships_[src]->Receive(std::move(shuttle), src);
     return OkStatus();
   }
-  stats_.GetCounter("wn.shuttles_injected").Add();
+  shuttles_injected_.Add();
   return Dispatch(src, std::move(shuttle));
 }
 
@@ -115,7 +121,8 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   // SRP community enforcement: excluded ships get no service. Probes are
   // exempt — the health plane must keep observing excluded ships too.
   if (!probe && reputation_.IsExcluded(shuttle.header.source)) {
-    stats_.GetCounter("wn.excluded_dropped").Add();
+    excluded_dropped_.Add();
+    shuttle_pool_.Release(std::move(shuttle));
     return PermissionDenied("source ship excluded from community");
   }
   net::NodeId next = net::kInvalidNode;
@@ -126,7 +133,7 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
     if (next == at) {
       // Chooser absorbed the shuttle (e.g. buffered pending route
       // discovery); nothing to transmit now.
-      stats_.GetCounter("wn.router_absorbed").Add();
+      router_absorbed_.Add();
       return OkStatus();
     }
   }
@@ -137,7 +144,8 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
     next = topology_.NextHop(at, dst);
   }
   if (next == net::kInvalidNode) {
-    stats_.GetCounter("wn.unroutable").Add();
+    unroutable_.Add();
+    shuttle_pool_.Release(std::move(shuttle));
     return NotFound("no route to destination");
   }
   net::Frame frame;
@@ -339,6 +347,11 @@ void WanderingNetwork::Pulse() {
   overlays_.RefreshPaths();
 
   stats_.GetTimeSeries("wn.role_diversity").Record(now, RoleDiversity());
+  // Route-cache effectiveness is deliberately NOT mirrored here: cache
+  // temperature is an execution detail (a resumed snapshot starts cold), and
+  // this registry is genesis-compared bit-for-bit. Call
+  // net::PublishRouteCacheStats(stats(), topology()) at report time instead;
+  // the sharded merge layer publishes per-shard gauges itself.
 }
 
 void WanderingNetwork::StartPulse(sim::TimePoint until) {

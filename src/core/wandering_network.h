@@ -29,6 +29,7 @@
 #include "core/pmp.h"
 #include "core/ship.h"
 #include "core/shuttle.h"
+#include "core/shuttle_pool.h"
 #include "core/srp.h"
 #include "net/fabric.h"
 #include "net/topology.h"
@@ -212,6 +213,9 @@ class WanderingNetwork {
   FunctionUsageLedger& ledger() { return ledger_; }
   const FunctionUsageLedger& ledger() const { return ledger_; }
   const WnConfig& config() const { return config_; }
+  /// Free-list of shuttle shells: ships release consumed shuttles here and
+  /// hot senders acquire from it, recycling section-buffer capacity.
+  ShuttlePool& shuttle_pool() { return shuttle_pool_; }
   Rng& rng() { return rng_; }
   const Rng& rng() const { return rng_; }
   FunctionId NextFunctionId() { return next_function_id_++; }
@@ -263,9 +267,16 @@ class WanderingNetwork {
   sim::TraceSink trace_;
   telemetry::Telemetry telemetry_;
   net::Fabric fabric_;
+  // Per-dispatch counters resolved once — Dispatch() is the hottest path in
+  // the system and registry name lookups would tax every shuttle hop.
+  sim::Counter& shuttles_injected_;
+  sim::Counter& excluded_dropped_;
+  sim::Counter& router_absorbed_;
+  sim::Counter& unroutable_;
 
   std::vector<std::unique_ptr<Ship>> ships_;  // indexed by NodeId
   std::size_t ship_count_ = 0;
+  ShuttlePool shuttle_pool_;
 
   vm::CodeRepository repository_;
   std::map<Digest, net::NodeId> origins_;

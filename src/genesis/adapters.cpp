@@ -165,8 +165,7 @@ Status DvRouterAdapter::Load(std::span<const std::byte> payload) {
   TlvReader r({});
   if (Status s = OpenReader(payload, r); !s.ok()) return s;
   std::uint64_t ads = 0, bytes = 0, dropped = 0;
-  std::vector<std::map<net::NodeId, services::DistanceVectorRouter::Route>>
-      tables;
+  std::vector<services::DistanceVectorRouter::RouteTable> tables;
   while (r.HasNext()) {
     auto rec = r.Next();
     if (!rec.ok()) return rec.status();
@@ -176,7 +175,7 @@ Status DvRouterAdapter::Load(std::span<const std::byte> payload) {
       case kTagDvDropped: dropped = rec->AsU64(); break;
       case kTagDvTable: {
         TlvReader tr(rec->payload);
-        std::map<net::NodeId, services::DistanceVectorRouter::Route> table;
+        services::DistanceVectorRouter::RouteTable table;
         while (tr.HasNext()) {
           auto t = tr.Next();
           if (!t.ok()) return t.status();

@@ -7,7 +7,16 @@ namespace viator::net {
 
 Fabric::Fabric(sim::Simulator& simulator, Topology& topology, Rng rng,
                sim::StatsRegistry& stats)
-    : simulator_(simulator), topology_(topology), rng_(rng), stats_(stats) {}
+    : simulator_(simulator),
+      topology_(topology),
+      rng_(rng),
+      stats_(stats),
+      drop_no_link_(stats.GetCounter("fabric.drop_no_link")),
+      drop_queue_(stats.GetCounter("fabric.drop_queue")),
+      frames_sent_(stats.GetCounter("fabric.frames_sent")),
+      frames_lost_(stats.GetCounter("fabric.frames_lost")),
+      queue_delay_ns_(stats.GetHistogram("fabric.queue_delay_ns")),
+      hop_latency_ns_(stats.GetHistogram("fabric.hop_latency_ns")) {}
 
 void Fabric::SetReceiveHandler(NodeId node, ReceiveHandler handler) {
   if (handlers_.size() <= node) handlers_.resize(node + 1);
@@ -26,7 +35,7 @@ Status Fabric::Send(Frame frame) {
   if (!link_id.has_value() || !topology_.IsNodeUp(frame.from) ||
       !topology_.IsNodeUp(frame.to)) {
     ++frames_dropped_;
-    stats_.GetCounter("fabric.drop_no_link").Add();
+    drop_no_link_.Add();
     return NotFound("no up link for hop");
   }
   EnsureLinkState(*link_id);
@@ -36,7 +45,7 @@ Status Fabric::Send(Frame frame) {
 
   if (dir.queued_bytes + frame.size_bytes > link.config.queue_capacity_bytes) {
     ++frames_dropped_;
-    stats_.GetCounter("fabric.drop_queue").Add();
+    drop_queue_.Add();
     return ResourceExhausted("tx queue overflow");
   }
 
@@ -49,10 +58,9 @@ Status Fabric::Send(Frame frame) {
   dir.busy_until = depart;
   dir.queued_bytes += frame.size_bytes;
 
-  stats_.GetHistogram("fabric.queue_delay_ns")
-      .Record(static_cast<double>(start - simulator_.now()));
+  queue_delay_ns_.Record(static_cast<double>(start - simulator_.now()));
   bytes_sent_ += frame.size_bytes;
-  stats_.GetCounter("fabric.frames_sent").Add();
+  frames_sent_.Add();
 
   const LinkId lid = *link_id;
   const sim::Duration latency = link.config.latency;
@@ -72,22 +80,22 @@ Status Fabric::Send(Frame frame) {
   const bool lost = frame.telemetry ? false : rng_.Bernoulli(loss);
   if (lost) {
     ++frames_dropped_;
-    stats_.GetCounter("fabric.frames_lost").Add();
+    frames_lost_.Add();
     return OkStatus();  // loss is a channel property, not a caller error
   }
 
   simulator_.ScheduleAt(
-      depart + latency, [this, frame = std::move(frame), lid, send_time] {
+      depart + latency,
+      [this, frame = std::move(frame), lid, send_time]() mutable {
         // Re-check link/node state at delivery time: a link that went down
         // mid-flight loses the frame (models carrier loss).
         if (!topology_.IsLinkUp(lid) || !topology_.IsNodeUp(frame.to)) {
           ++frames_dropped_;
-          stats_.GetCounter("fabric.frames_lost").Add();
+          frames_lost_.Add();
           return;
         }
         ++frames_delivered_;
-        stats_.GetHistogram("fabric.hop_latency_ns")
-            .Record(static_cast<double>(simulator_.now() - send_time));
+        hop_latency_ns_.Record(static_cast<double>(simulator_.now() - send_time));
         if (frame.to < handlers_.size() && handlers_[frame.to]) {
           handlers_[frame.to](frame);
         }

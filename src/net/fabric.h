@@ -24,7 +24,10 @@ namespace viator::net {
 
 class Fabric {
  public:
-  using ReceiveHandler = std::function<void(const Frame&)>;
+  /// Delivery callback. The frame is the handler's to consume: it may move
+  /// the payload out (the shuttle data path does, saving a deep copy per
+  /// hop); the fabric never looks at a frame again after handing it over.
+  using ReceiveHandler = std::function<void(Frame&)>;
 
   /// The fabric borrows the simulator, topology and stats registry; all must
   /// outlive it. `rng` seeds the loss process.
@@ -101,6 +104,14 @@ class Fabric {
   Topology& topology_;
   Rng rng_;
   sim::StatsRegistry& stats_;
+  // Hot-path metrics resolved once at construction: Send() runs per frame,
+  // and registry name lookups would otherwise dominate its fixed cost.
+  sim::Counter& drop_no_link_;
+  sim::Counter& drop_queue_;
+  sim::Counter& frames_sent_;
+  sim::Counter& frames_lost_;
+  sim::Histogram& queue_delay_ns_;
+  sim::Histogram& hop_latency_ns_;
   std::vector<ReceiveHandler> handlers_;
   std::vector<std::array<Direction, 2>> directions_;  // per link: a->b, b->a
   std::vector<std::uint64_t> link_bytes_;

@@ -70,13 +70,12 @@ AdhocManager::AdhocManager(sim::Simulator& simulator, Topology& topology,
       link_config_(link_config) {
   // Establish the initial radio graph.
   const auto& pos = mobility_.positions();
+  pair_links_.assign(pos.size() * (pos.size() - 1) / 2, kInvalidLink);
   for (std::size_t i = 0; i < pos.size(); ++i) {
     for (std::size_t j = i + 1; j < pos.size(); ++j) {
       if (Distance(pos[i], pos[j]) <= range_) {
-        const LinkId id = topology_.AddLink(static_cast<NodeId>(i),
-                                            static_cast<NodeId>(j),
-                                            link_config_);
-        pair_links_[{static_cast<NodeId>(i), static_cast<NodeId>(j)}] = id;
+        pair_links_[PairIndex(i, j)] = topology_.AddLink(
+            static_cast<NodeId>(i), static_cast<NodeId>(j), link_config_);
       }
     }
   }
@@ -88,20 +87,18 @@ void AdhocManager::Update() {
   for (std::size_t i = 0; i < pos.size(); ++i) {
     for (std::size_t j = i + 1; j < pos.size(); ++j) {
       const bool in_range = Distance(pos[i], pos[j]) <= range_;
-      const auto key =
-          std::make_pair(static_cast<NodeId>(i), static_cast<NodeId>(j));
-      auto it = pair_links_.find(key);
+      LinkId& link = pair_links_[PairIndex(i, j)];
       if (in_range) {
-        if (it == pair_links_.end()) {
-          pair_links_[key] =
-              topology_.AddLink(key.first, key.second, link_config_);
+        if (link == kInvalidLink) {
+          link = topology_.AddLink(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j), link_config_);
           ++link_transitions_;
-        } else if (!topology_.IsLinkUp(it->second)) {
-          topology_.SetLinkUp(it->second, true);
+        } else if (!topology_.IsLinkUp(link)) {
+          topology_.SetLinkUp(link, true);
           ++link_transitions_;
         }
-      } else if (it != pair_links_.end() && topology_.IsLinkUp(it->second)) {
-        topology_.SetLinkUp(it->second, false);
+      } else if (link != kInvalidLink && topology_.IsLinkUp(link)) {
+        topology_.SetLinkUp(link, false);
         ++link_transitions_;
       }
     }

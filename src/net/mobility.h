@@ -9,7 +9,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -91,13 +90,24 @@ class AdhocManager {
   void set_on_update(std::function<void()> fn) { on_update_ = std::move(fn); }
 
  private:
+  /// Index of unordered pair (i, j), i < j, in the packed upper triangle of
+  /// an n×n matrix (row-major). The node population is fixed at
+  /// construction, so pair→link lookup is one multiply instead of a
+  /// std::map walk — Update() probes every pair on every mobility tick.
+  std::size_t PairIndex(std::size_t i, std::size_t j) const {
+    const std::size_t n = mobility_.positions().size();
+    return i * (2 * n - i - 1) / 2 + (j - i - 1);
+  }
+
   sim::Simulator& simulator_;
   Topology& topology_;
   RandomWaypointMobility mobility_;
   double range_;
   sim::Duration interval_;
   LinkConfig link_config_;
-  std::map<std::pair<NodeId, NodeId>, LinkId> pair_links_;
+  /// pair_links_[PairIndex(i, j)] = lazily created link, kInvalidLink until
+  /// the pair first comes into radio range.
+  std::vector<LinkId> pair_links_;
   std::uint64_t link_transitions_ = 0;
   sim::TimePoint until_ = 0;
   std::function<void()> on_update_;

@@ -6,6 +6,9 @@
 #include <deque>
 #include <queue>
 
+#include "sim/stats.h"
+#include "telemetry/perf_counters.h"
+
 namespace viator::net {
 
 NodeId Topology::AddNodes(std::size_t count) {
@@ -13,6 +16,7 @@ NodeId Topology::AddNodes(std::size_t count) {
   node_count_ += count;
   incident_.resize(node_count_);
   node_up_.resize(node_count_, true);
+  if (count != 0) ++generation_;
   return first;
 }
 
@@ -22,10 +26,16 @@ LinkId Topology::AddLink(NodeId a, NodeId b, const LinkConfig& config) {
   links_.push_back(Link{a, b, config, true});
   incident_[a].push_back(id);
   incident_[b].push_back(id);
+  ++generation_;
   return id;
 }
 
-void Topology::SetNodeUp(NodeId node, bool up) { node_up_[node] = up; }
+void Topology::SetNodeUp(NodeId node, bool up) {
+  if (node_up_[node] != up) {
+    node_up_[node] = up;
+    ++generation_;
+  }
+}
 
 std::optional<LinkId> Topology::FindLink(NodeId a, NodeId b) const {
   if (!node_up_[a] || !node_up_[b]) return std::nullopt;
@@ -121,8 +131,97 @@ std::vector<NodeId> Topology::FastestPath(NodeId a, NodeId b) const {
 }
 
 NodeId Topology::NextHop(NodeId from, NodeId to) const {
-  const auto path = ShortestPath(from, to);
-  return path.size() >= 2 ? path[1] : kInvalidNode;
+  if (!cache_enabled_) return NextHopUncached(from, to);
+  // Guards mirror ShortestPath exactly so cached and uncached answers agree
+  // on every degenerate input.
+  if (from >= node_count_ || to >= node_count_) return kInvalidNode;
+  if (!node_up_[from] || !node_up_[to]) return kInvalidNode;
+  if (from == to) return kInvalidNode;
+  CacheRow& row = RouteRowFor(from);
+  row.last_used = ++lru_tick_;
+  return row.first_hop[to];
+}
+
+void Topology::SetRouteCacheCapacity(std::size_t rows) {
+  cache_capacity_ = rows == 0 ? 1 : rows;
+  // Shed excess rows now; which ones go is irrelevant to correctness, so
+  // drop from the back (deterministic).
+  while (rows_.size() > cache_capacity_) {
+    const CacheRow& victim = rows_.back();
+    if (victim.from < row_of_.size()) {
+      row_of_[victim.from] = kInvalidNode;
+    }
+    ++cache_stats_.evictions;
+    rows_.pop_back();
+  }
+}
+
+Topology::CacheRow& Topology::RouteRowFor(NodeId from) const {
+  if (row_of_.size() < node_count_) {
+    row_of_.resize(node_count_, kInvalidNode);
+  }
+  const std::uint32_t idx = row_of_[from];
+  if (idx != kInvalidNode && rows_[idx].from == from) {
+    CacheRow& row = rows_[idx];
+    if (row.gen == generation_) {
+      ++cache_stats_.hits;
+      VIATOR_PERF_COUNT(kRouteCacheHit);
+      return row;
+    }
+    // Stale: refill in place.
+    ++cache_stats_.invalidations;
+    ++cache_stats_.misses;
+    VIATOR_PERF_COUNT(kRouteCacheMiss);
+    FillRow(row, from);
+    return row;
+  }
+  ++cache_stats_.misses;
+  VIATOR_PERF_COUNT(kRouteCacheMiss);
+  if (rows_.size() < cache_capacity_) {
+    rows_.emplace_back();
+    row_of_[from] = static_cast<std::uint32_t>(rows_.size() - 1);
+    CacheRow& row = rows_.back();
+    FillRow(row, from);
+    return row;
+  }
+  // LRU eviction: reuse the least recently used row's storage.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].last_used < rows_[victim].last_used) victim = i;
+  }
+  CacheRow& row = rows_[victim];
+  if (row.from < row_of_.size() && row_of_[row.from] == victim) {
+    row_of_[row.from] = kInvalidNode;
+  }
+  ++cache_stats_.evictions;
+  row_of_[from] = static_cast<std::uint32_t>(victim);
+  FillRow(row, from);
+  return row;
+}
+
+void Topology::FillRow(Topology::CacheRow& row, NodeId from) const {
+  VIATOR_PERF_SCOPE(kRouteCacheFill);
+  row.from = from;
+  row.gen = generation_;
+  row.first_hop.assign(node_count_, kInvalidNode);
+  // One full BFS with first-hop label propagation. Expansion order and
+  // first-touch parent assignment are identical to ShortestPath(), so for
+  // every destination `d` the label equals ShortestPath(from, d)[1]; the
+  // early exit the per-pair query takes merely stops after the target's
+  // label is already fixed.
+  std::vector<NodeId> parent(node_count_, kInvalidNode);
+  std::deque<NodeId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : Neighbors(u)) {
+      if (parent[v] != kInvalidNode) continue;
+      parent[v] = u;
+      row.first_hop[v] = u == from ? v : row.first_hop[u];
+      frontier.push_back(v);
+    }
+  }
 }
 
 bool Topology::IsConnected() const {
@@ -186,6 +285,28 @@ void Topology::MixDigest(Hasher& hasher) const {
 }
 
 // ---- Generators -----------------------------------------------------------
+
+void PublishRouteCacheStats(sim::StatsRegistry& stats,
+                            const Topology& topology,
+                            std::string_view prefix) {
+  const Topology::RouteCacheStats& cache = topology.route_cache_stats();
+  std::string name(prefix);
+  const std::size_t stem = name.size();
+  const auto set = [&](std::string_view leaf, double value) {
+    name.resize(stem);
+    name += '.';
+    name += leaf;
+    stats.GetGauge(name).Set(value);
+  };
+  set("hits", static_cast<double>(cache.hits));
+  set("misses", static_cast<double>(cache.misses));
+  set("invalidations", static_cast<double>(cache.invalidations));
+  set("evictions", static_cast<double>(cache.evictions));
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  set("hit_ratio", lookups == 0 ? 0.0
+                                : static_cast<double>(cache.hits) /
+                                      static_cast<double>(lookups));
+}
 
 Topology MakeLine(std::size_t n, const LinkConfig& config) {
   Topology t;

@@ -6,16 +6,31 @@
 // Links can be brought up/down and added at runtime — mobility and failure
 // injection mutate the same structure the fabric routes over, which is what
 // lets the Wandering Network's "topology-on-demand" react to real change.
+//
+// NextHop() — the per-hop routing query on the data path — is backed by a
+// generation-stamped route cache: one flat first-hop row per source node
+// (LRU-bounded), filled by a single full BFS and invalidated wholesale by
+// bumping `generation_` on every structural mutation (link/node up/down,
+// added links/nodes, mobility rewires). A cached row is proven
+// decision-identical to the per-pair BFS it replaces: BFS parent assignment
+// is first-touch in deterministic neighbor order, so propagating first-hop
+// labels in one sweep yields exactly ShortestPath(from, to)[1] for every
+// destination. The cache never feeds MixDigest (it is derived state).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "base/hash.h"
 #include "base/rng.h"
 #include "net/types.h"
 #include "sim/time.h"
+
+namespace viator::sim {
+class StatsRegistry;
+}  // namespace viator::sim
 
 namespace viator::net {
 
@@ -47,7 +62,12 @@ class Topology {
 
   const Link& link(LinkId id) const { return links_[id]; }
 
-  void SetLinkUp(LinkId id, bool up) { links_[id].up = up; }
+  void SetLinkUp(LinkId id, bool up) {
+    if (links_[id].up != up) {
+      links_[id].up = up;
+      ++generation_;
+    }
+  }
   bool IsLinkUp(LinkId id) const { return links_[id].up; }
 
   /// Marks every link touching `node` down (node failure) or up again.
@@ -70,8 +90,44 @@ class Topology {
   /// Latency-weighted shortest path (Dijkstra over link latency).
   std::vector<NodeId> FastestPath(NodeId a, NodeId b) const;
 
-  /// Next hop on the hop-count shortest path, or kInvalidNode.
+  /// Next hop on the hop-count shortest path, or kInvalidNode. O(1) against
+  /// the route cache in steady state; one row-filling BFS per (source,
+  /// topology generation) otherwise.
   NodeId NextHop(NodeId from, NodeId to) const;
+
+  /// Next hop computed the pre-cache way: a fresh per-pair BFS. Exists so
+  /// tests (and the bench's cache-off leg) can prove the cache
+  /// decision-identical; not a data-path API.
+  NodeId NextHopUncached(NodeId from, NodeId to) const {
+    const auto path = ShortestPath(from, to);
+    return path.size() >= 2 ? path[1] : kInvalidNode;
+  }
+
+  // ---- Route cache ---------------------------------------------------------
+
+  struct RouteCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;         // row fills (cold or post-invalidation)
+    std::uint64_t invalidations = 0;  // stale rows discarded lazily
+    std::uint64_t evictions = 0;      // live rows displaced by LRU pressure
+  };
+
+  /// Runtime switch (default on). Disabling routes every NextHop through a
+  /// fresh BFS — the reference the bench gate measures the cache against.
+  void SetRouteCacheEnabled(bool enabled) { cache_enabled_ = enabled; }
+  bool route_cache_enabled() const { return cache_enabled_; }
+
+  /// Caps the number of cached source rows (LRU eviction beyond it).
+  /// Minimum 1; default 256 rows.
+  void SetRouteCacheCapacity(std::size_t rows);
+  std::size_t route_cache_capacity() const { return cache_capacity_; }
+
+  const RouteCacheStats& route_cache_stats() const { return cache_stats_; }
+
+  /// Monotone structural-change counter: bumps on every mutation that could
+  /// change a shortest path. Cached rows stamped with an older generation
+  /// are dead.
+  std::uint64_t generation() const { return generation_; }
 
   /// True when every node can reach every other over up links.
   bool IsConnected() const;
@@ -89,11 +145,43 @@ class Topology {
   void MixDigest(Hasher& hasher) const;
 
  private:
+  // One cached first-hop row: first_hop[dst] on the shortest path from
+  // `from`, kInvalidNode when unreachable. Valid iff gen == generation_.
+  struct CacheRow {
+    NodeId from = kInvalidNode;
+    std::uint64_t gen = 0;
+    std::uint64_t last_used = 0;
+    std::vector<NodeId> first_hop;
+  };
+
+  CacheRow& RouteRowFor(NodeId from) const;
+  void FillRow(CacheRow& row, NodeId from) const;
+
   std::size_t node_count_ = 0;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> incident_;  // node -> link ids
   std::vector<bool> node_up_;
+
+  std::uint64_t generation_ = 0;
+  bool cache_enabled_ = true;
+  std::size_t cache_capacity_ = 256;
+  // Cache storage is derived, query-time state: mutable so the const query
+  // path can maintain it. Copying a Topology copies the cache, which stays
+  // valid (generation and structure travel together).
+  mutable std::vector<CacheRow> rows_;
+  mutable std::vector<std::uint32_t> row_of_;  // from -> index into rows_
+  mutable std::uint64_t lru_tick_ = 0;
+  mutable RouteCacheStats cache_stats_;
 };
+
+/// Mirrors `topology`'s route-cache counters into `stats` as gauges:
+/// `<prefix>.hits`, `.misses`, `.invalidations`, `.evictions` and
+/// `.hit_ratio` (hits / lookups, 0 when the cache is cold). Gauges are Set,
+/// not accumulated, so the call is idempotent — invoke it from any telemetry
+/// flush point (network pulse, shard window barrier).
+void PublishRouteCacheStats(sim::StatsRegistry& stats,
+                            const Topology& topology,
+                            std::string_view prefix = "net.route_cache");
 
 // ---- Generators -----------------------------------------------------------
 

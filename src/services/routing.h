@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <vector>
 
+#include "base/flat_map.h"
 #include "core/wandering_network.h"
 
 namespace viator::services {
@@ -78,12 +78,16 @@ class DistanceVectorRouter {
     sim::TimePoint expires = 0;
   };
 
+  /// Per-node routing table: probed on every data hop, mutated only on
+  /// advertisement/expiry, so a sorted flat vector beats a node-based map.
+  /// Iteration stays in ascending destination order — MixDigest folds and
+  /// genesis snapshot bytes are identical to the old std::map layout.
+  using RouteTable = base::FlatMap<net::NodeId, Route>;
+
   // ---- Snapshot/restore support (genesis) ----
-  const std::vector<std::map<net::NodeId, Route>>& tables() const {
-    return tables_;
-  }
-  void RestoreState(std::vector<std::map<net::NodeId, Route>> tables,
-                    std::uint64_t ads_sent, std::uint64_t control_bytes,
+  const std::vector<RouteTable>& tables() const { return tables_; }
+  void RestoreState(std::vector<RouteTable> tables, std::uint64_t ads_sent,
+                    std::uint64_t control_bytes,
                     std::uint64_t dropped_no_route) {
     tables_ = std::move(tables);
     ads_sent_ = ads_sent;
@@ -119,7 +123,7 @@ class DistanceVectorRouter {
 
   wli::WanderingNetwork& network_;
   Config config_;
-  std::vector<std::map<net::NodeId, Route>> tables_;  // per node
+  std::vector<RouteTable> tables_;  // per node
   std::uint64_t ads_sent_ = 0;
   std::uint64_t control_bytes_ = 0;
   std::uint64_t dropped_no_route_ = 0;
@@ -179,11 +183,13 @@ class AdaptiveAdHocRouter {
 
   wli::WanderingNetwork& network_;
   Config config_;
-  std::vector<std::map<net::NodeId, Route>> tables_;      // per node
-  std::vector<std::set<std::uint64_t>> seen_requests_;    // per node dedupe
-  std::vector<std::map<net::NodeId, std::vector<wli::Shuttle>>> buffered_;
+  // Flat sorted tables for the same reason as DistanceVectorRouter: lookup
+  // on every hop, mutation only on control events.
+  std::vector<base::FlatMap<net::NodeId, Route>> tables_;  // per node
+  std::vector<std::set<std::uint64_t>> seen_requests_;     // per node dedupe
+  std::vector<base::FlatMap<net::NodeId, std::vector<wli::Shuttle>>> buffered_;
   // Per-node, per-destination earliest next discovery (RREQ rate limit).
-  std::vector<std::map<net::NodeId, sim::TimePoint>> next_discovery_;
+  std::vector<base::FlatMap<net::NodeId, sim::TimePoint>> next_discovery_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t rreq_sent_ = 0;
   std::uint64_t rrep_sent_ = 0;

@@ -222,6 +222,11 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
           .stall_ns = max_wall - results[shard].wall_ns,
           .queue_depth = static_cast<double>(slot.simulator.queue_depth())};
       telemetry::PublishShardWindow(stats_, shard, sample);
+      // Each shard's induced topology carries its own route cache; publish
+      // its effectiveness under the shard's metric prefix.
+      net::PublishRouteCacheStats(
+          stats_, slot.topology,
+          telemetry::ShardMetricName(shard, "route_cache"));
       record.shards[shard] = sample;
       unroutable_handoffs_ += slot.window_unroutable;
       slot.window_handoffs_out = 0;

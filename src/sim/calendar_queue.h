@@ -1,0 +1,234 @@
+// Calendar-queue event scheduler (Brown '88, with ladder-style adaptation).
+//
+// Replaces the binary heap under the Simulator: O(1) amortised push/pop for
+// the high-rate near-future event distribution a discrete-event network
+// produces, while preserving the EXACT (when, seq) total order the heap
+// gave — seq is the stable schedule ordinal, so dispatch order (and with it
+// every DecisionJournal digest) is bit-identical to the heap scheduler.
+//
+// Structure: a power-of-two ring of unsorted buckets, each `1 << shift_`
+// virtual nanoseconds wide; an event at time `when` lives in bucket
+// `(when >> shift_) & (buckets - 1)`. The minimum is materialised lazily
+// into a "head batch": ALL entries sharing the globally minimal timestamp,
+// sorted by seq and consumed in order. Because seq is assigned monotonically,
+// same-time pushes that arrive while the batch is live append in order;
+// pushes earlier than the batch flush it back into the ring first (rare —
+// only possible after peeking a future event without advancing the clock).
+//
+// Determinism: no wall clock, no pointer-order anywhere. Bucket count and
+// width adapt only to the push/pop sequence itself, so two runs performing
+// the same schedule calls see identical behaviour on any host.
+//
+// The queue stores 24-byte handles, not callbacks: {when, seq, slot, gen}.
+// slot/gen address the Simulator's event-slot pool; a stale gen marks a
+// cancelled (tombstoned) entry, which the Simulator skips at pop, exactly
+// as the heap's lazy tombstone removal did.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace viator::sim {
+
+/// One queued event reference. `slot`/`gen` address the owner's event pool;
+/// the queue orders purely by (when, seq).
+struct QueuedEvent {
+  TimePoint when;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t gen;
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { Rebuild(kMinBuckets, 0); }
+
+  /// Total entries queued, tombstones included (queue occupancy). O(1).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts an entry. `seq` values must be pushed in increasing order for
+  /// equal `when` (the Simulator's monotone schedule ordinal guarantees it).
+  void Push(const QueuedEvent& e) {
+    ++size_;
+    if (HeadActive()) {
+      if (e.when == head_when_) {
+        // Monotone seq: belongs after every unconsumed batch entry.
+        head_.push_back(e);
+        return;
+      }
+      if (e.when < head_when_) FlushHead();
+    }
+    if (e.when < floor_) floor_ = e.when;
+    PushBucket(e);
+    ++bucketed_;
+    if (bucketed_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+      Rebuild(buckets_.size() * 2, SampleShift(buckets_.size() * 2));
+    }
+  }
+
+  /// Minimum entry by (when, seq), tombstones included; nullptr when empty.
+  /// Non-const: materialises the head batch on demand.
+  const QueuedEvent* PeekMin() {
+    if (!HeadActive()) {
+      if (size_ == 0) return nullptr;
+      Refill();
+    }
+    return &head_[head_pos_];
+  }
+
+  /// Removes and returns the minimum entry. Precondition: !empty().
+  QueuedEvent PopMin() {
+    if (!HeadActive()) Refill();
+    QueuedEvent e = head_[head_pos_++];
+    --size_;
+    floor_ = e.when;  // nothing earlier can remain
+    if (head_pos_ == head_.size()) {
+      head_.clear();
+      head_pos_ = 0;
+      if (size_ != 0 && bucketed_ < buckets_.size() / 8 &&
+          buckets_.size() > kMinBuckets) {
+        Rebuild(buckets_.size() / 2, SampleShift(buckets_.size() / 2));
+      }
+    }
+    return e;
+  }
+
+  // Introspection for tests / diagnostics.
+  std::size_t bucket_count() const { return buckets_.size(); }
+  unsigned shift() const { return shift_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
+  bool HeadActive() const { return head_pos_ < head_.size(); }
+
+  std::size_t BucketIndex(TimePoint when) const {
+    return static_cast<std::size_t>(when >> shift_) & (buckets_.size() - 1);
+  }
+
+  void PushBucket(const QueuedEvent& e) { buckets_[BucketIndex(e.when)].push_back(e); }
+
+  /// Returns the unconsumed head batch to the ring (a push arrived earlier
+  /// than the current batch timestamp).
+  void FlushHead() {
+    for (std::size_t i = head_pos_; i < head_.size(); ++i) {
+      if (head_[i].when < floor_) floor_ = head_[i].when;
+      PushBucket(head_[i]);
+      ++bucketed_;
+    }
+    head_.clear();
+    head_pos_ = 0;
+  }
+
+  /// Extracts every entry carrying the minimal timestamp into head_,
+  /// sorted by seq. Precondition: size_ > 0 and head inactive.
+  void Refill() {
+    // Scan one "year" (buckets_.size() days) of day-windows starting at the
+    // day containing floor_; the first day owning any entry owns the global
+    // minimum, because floor_ is a lower bound for everything queued.
+    const std::uint64_t start_day = static_cast<std::uint64_t>(floor_) >> shift_;
+    bool found = false;
+    TimePoint min_when = 0;
+    for (std::uint64_t k = 0; k < buckets_.size() && !found; ++k) {
+      const std::uint64_t day = start_day + k;
+      auto& bucket = buckets_[static_cast<std::size_t>(day) & (buckets_.size() - 1)];
+      for (const QueuedEvent& e : bucket) {
+        if ((static_cast<std::uint64_t>(e.when) >> shift_) != day) continue;
+        if (!found || e.when < min_when) {
+          found = true;
+          min_when = e.when;
+        }
+      }
+      if (found) ExtractAll(bucket, min_when);
+    }
+    if (!found) {
+      // Every entry is more than a year beyond floor_: the width is stale.
+      // Direct-search the whole ring for the minimum, then re-adapt.
+      for (const auto& bucket : buckets_) {
+        for (const QueuedEvent& e : bucket) {
+          if (!found || e.when < min_when) {
+            found = true;
+            min_when = e.when;
+          }
+        }
+      }
+      auto& bucket = buckets_[BucketIndex(min_when)];
+      ExtractAll(bucket, min_when);
+      Rebuild(buckets_.size(), SampleShift(buckets_.size()));
+    }
+    std::sort(head_.begin(), head_.end(),
+              [](const QueuedEvent& a, const QueuedEvent& b) { return a.seq < b.seq; });
+    head_when_ = min_when;
+    head_pos_ = 0;
+    floor_ = min_when;
+  }
+
+  /// Swap-removes every `when == target` entry of `bucket` into head_.
+  void ExtractAll(std::vector<QueuedEvent>& bucket, TimePoint target) {
+    for (std::size_t i = 0; i < bucket.size();) {
+      if (bucket[i].when == target) {
+        head_.push_back(bucket[i]);
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --bucketed_;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Picks a bucket width for `nbuckets` from the spread of queued times:
+  /// width ~ spread / nbuckets, rounded up to a power of two, so steady-state
+  /// occupancy stays O(1) per bucket-day.
+  unsigned SampleShift(std::size_t nbuckets) const {
+    TimePoint lo = 0, hi = 0;
+    bool any = false;
+    auto visit = [&](const QueuedEvent& e) {
+      if (!any) {
+        lo = hi = e.when;
+        any = true;
+      } else {
+        if (e.when < lo) lo = e.when;
+        if (e.when > hi) hi = e.when;
+      }
+    };
+    for (const auto& bucket : buckets_)
+      for (const QueuedEvent& e : bucket) visit(e);
+    for (std::size_t i = head_pos_; i < head_.size(); ++i) visit(head_[i]);
+    if (!any || hi == lo) return 0;
+    const std::uint64_t span = (hi - lo) / static_cast<std::uint64_t>(nbuckets);
+    unsigned s = 0;
+    while (s < 40 && (std::uint64_t{1} << s) < span) ++s;
+    return s;
+  }
+
+  /// Re-ring all bucketed entries into `nbuckets` buckets of width
+  /// `1 << shift`. The head batch is left untouched.
+  void Rebuild(std::size_t nbuckets, unsigned shift) {
+    std::vector<QueuedEvent> all;
+    all.reserve(bucketed_);
+    for (auto& bucket : buckets_)
+      for (const QueuedEvent& e : bucket) all.push_back(e);
+    shift_ = shift;
+    buckets_.assign(nbuckets, {});
+    for (const QueuedEvent& e : all) PushBucket(e);
+  }
+
+  std::vector<std::vector<QueuedEvent>> buckets_;
+  unsigned shift_ = 0;
+  std::size_t size_ = 0;      // total entries (head remainder + bucketed)
+  std::size_t bucketed_ = 0;  // entries currently in the ring
+  TimePoint floor_ = 0;       // lower bound for every queued entry
+  // Head batch: all entries at the minimal timestamp, seq-sorted.
+  std::vector<QueuedEvent> head_;
+  std::size_t head_pos_ = 0;
+  TimePoint head_when_ = 0;
+};
+
+}  // namespace viator::sim

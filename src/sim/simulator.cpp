@@ -8,22 +8,47 @@
 
 namespace viator::sim {
 
+std::uint32_t Simulator::AllocSlot(Callback fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNoFreeSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].fn = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(EventSlot{std::move(fn), 0, 0});
+  }
+  ++live_events_;
+  return slot;
+}
+
+void Simulator::FreeSlot(std::uint32_t slot, Callback* fn) {
+  EventSlot& s = slots_[slot];
+  if (fn != nullptr) {
+    *fn = std::move(s.fn);
+  }
+  s.fn = nullptr;  // release captured state now, not at reuse
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_events_;
+}
+
 EventHandle Simulator::ScheduleAt(TimePoint when, Callback fn,
                                   const char* component) {
-  Event ev;
   if (when < now_) {
     ++clamped_events_;
     if (clamp_counter_ != nullptr) clamp_counter_->Add();
   }
-  ev.when = when < now_ ? now_ : when;
-  ev.seq = next_seq_++;
-  ev.fn = std::move(fn);
-  ev.alive = std::make_shared<bool>(true);
-  if (observer_ && component != nullptr) component_by_seq_[ev.seq] = component;
-  EventHandle handle(ev.alive);
-  queue_.push(std::move(ev));
+  QueuedEvent qe;
+  qe.when = when < now_ ? now_ : when;
+  qe.seq = next_seq_++;
+  qe.slot = AllocSlot(std::move(fn));
+  qe.gen = slots_[qe.slot].gen;
+  if (observer_ && component != nullptr) component_by_seq_[qe.seq] = component;
+  queue_.Push(qe);
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
-  return handle;
+  return EventHandle(this, qe.slot, qe.gen);
 }
 
 EventHandle Simulator::ScheduleAfter(Duration delay, Callback fn,
@@ -34,17 +59,18 @@ EventHandle Simulator::ScheduleAfter(Duration delay, Callback fn,
 bool Simulator::Step() {
   VIATOR_PERF_SCOPE(kSimDispatch);
   while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast after copy of
-    // the ordering fields — the element is popped immediately after.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (!*ev.alive) {  // tombstoned by Cancel()
+    QueuedEvent ev = queue_.PopMin();
+    if (!SlotLive(ev.slot, ev.gen)) {  // tombstoned by Cancel()
       if (observer_) component_by_seq_.erase(ev.seq);
       continue;
     }
     const TimePoint prev_now = now_;
     now_ = ev.when;
-    *ev.alive = false;  // mark fired so late Cancel() is a no-op
+    // Free the slot before running: a handle queried (or cancelled) from
+    // inside its own callback must read "already fired", exactly as the old
+    // *alive = false did. The callback is moved out first.
+    Callback fn;
+    FreeSlot(ev.slot, &fn);
     ++dispatched_;
     if (dispatch_hook_ != nullptr) {
       dispatch_hook_(dispatch_hook_ctx_, ev.when, dispatched_);
@@ -57,14 +83,14 @@ bool Simulator::Step() {
         component_by_seq_.erase(it);
       }
       const auto wall_start = std::chrono::steady_clock::now();
-      ev.fn();
+      fn();
       const auto wall_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - wall_start)
               .count());
       observer_(component, ev.when, ev.when - prev_now, wall_ns);
     } else {
-      ev.fn();
+      fn();
     }
     return true;
   }
@@ -74,7 +100,10 @@ bool Simulator::Step() {
 std::uint64_t Simulator::RunUntil(TimePoint deadline) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
+    // Deliberately checks the raw queue minimum, tombstones included — the
+    // binary-heap scheduler did the same, and replay baselines depend on the
+    // exact event set a window dispatches.
+    if (queue_.PeekMin()->when > deadline) break;
     if (Step()) ++n;
   }
   if (now_ < deadline) now_ = deadline;
@@ -89,10 +118,10 @@ std::uint64_t Simulator::RunAll() {
 
 std::optional<TimePoint> Simulator::NextEventTime() {
   while (!queue_.empty()) {
-    if (*queue_.top().alive) return queue_.top().when;
+    const QueuedEvent* top = queue_.PeekMin();
+    if (SlotLive(top->slot, top->gen)) return top->when;
     // Tombstoned: drop it now, exactly as Step() would.
-    Event dead = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    QueuedEvent dead = queue_.PopMin();
     if (observer_) component_by_seq_.erase(dead.seq);
   }
   return std::nullopt;
@@ -122,18 +151,6 @@ Status Simulator::RestoreClock(TimePoint now, std::uint64_t dispatched_count,
   now_ = now;
   dispatched_ = dispatched_count;
   return OkStatus();
-}
-
-std::size_t Simulator::PendingEvents() const {
-  // Count live entries by scanning a copy of the container. The underlying
-  // vector is not directly reachable, so rebuild: acceptable for tests.
-  auto copy = queue_;
-  std::size_t live = 0;
-  while (!copy.empty()) {
-    if (*copy.top().alive) ++live;
-    copy.pop();
-  }
-  return live;
 }
 
 }  // namespace viator::sim

@@ -1,6 +1,6 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of (time, ordinal, callback) events and
+// A Simulator owns a calendar queue of (time, ordinal) event references and
 // a virtual clock. Events at equal times fire in scheduling order: the
 // tie-break key is a *stable schedule ordinal* — a monotone counter assigned
 // at ScheduleAt time that genesis snapshots save and RestoreClock restores —
@@ -8,20 +8,24 @@
 // every run bit-for-bit deterministic, keeps same-time dispatch order
 // identical across a checkpoint/restore boundary, and gives merged
 // shard-boundary injections (src/shard) a well-defined total order against
-// events the restored or destination simulator scheduled itself. Scheduled
-// events can be cancelled through the returned handle; cancellation is O(1)
-// (tombstoning) with lazy removal at pop time.
+// events the restored or destination simulator scheduled itself.
+//
+// Callbacks live in an intrusive free-list slot pool; the queue holds only
+// 24-byte {when, seq, slot, gen} references (sim/calendar_queue.h), so the
+// hot dispatch path allocates nothing. Cancellation is O(1): freeing the
+// slot bumps its generation, which tombstones every queued reference to it
+// (stale gen), removed lazily at pop time — the same semantics the previous
+// shared_ptr<bool> token provided, without the per-event allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
+#include "sim/calendar_queue.h"
 #include "sim/time.h"
 
 namespace viator::sim {
@@ -29,24 +33,26 @@ namespace viator::sim {
 class Counter;  // sim/stats.h
 
 /// Handle to a scheduled event; Cancel() prevents a not-yet-fired callback
-/// from running. Handles are cheap shared references and may outlive the
-/// event itself (cancelling a fired event is a no-op).
+/// from running. Handles are cheap value copies (pool slot + generation) and
+/// may outlive the event itself (cancelling a fired event is a no-op) — but
+/// not the Simulator that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Suppresses the callback if it has not fired yet.
-  void Cancel() {
-    if (alive_) *alive_ = false;
-  }
+  void Cancel();
 
   /// True if the event is still pending (scheduled, not fired/cancelled).
-  bool pending() const { return alive_ && *alive_; }
+  bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(class Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event-driven virtual machine of the whole system: all network, node
@@ -117,9 +123,9 @@ class Simulator {
   /// not const. Lets replay seek stop exactly before a virtual-time bound.
   std::optional<TimePoint> NextEventTime();
 
-  /// Number of live (non-cancelled) events still queued. O(queue) — intended
-  /// for tests and end-of-run assertions, not hot paths.
-  std::size_t PendingEvents() const;
+  /// Number of live (non-cancelled) events still queued. O(1): the slot pool
+  /// tracks live occupancy directly.
+  std::size_t PendingEvents() const { return live_events_; }
 
   /// Current event-queue size, O(1). Counts tombstoned (cancelled) events
   /// still awaiting lazy removal, so this is queue *occupancy*, the number
@@ -162,34 +168,49 @@ class Simulator {
                       std::uint64_t schedule_ordinal = kKeepScheduleOrdinal);
 
  private:
-  // Kept at 64 bytes: the priority queue sifts whole Events, so every extra
-  // member is paid on each push/pop. Attribution labels live in
-  // component_by_seq_ (populated only while an observer is installed).
-  // `seq` is the stable schedule ordinal described above.
-  struct Event {
-    TimePoint when;
-    std::uint64_t seq;
+  friend class EventHandle;
+
+  // Pooled event storage. A slot's generation bumps every time it is freed
+  // (fire or cancel), so queued references and handles carrying an old
+  // generation read as dead — ABA-safe without per-event allocation.
+  struct EventSlot {
     Callback fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = 0;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  std::uint32_t AllocSlot(Callback fn);
+  // Destroys the slot's callback, bumps its generation and returns it to the
+  // free list. `fn` (if non-null) receives the callback instead, moved out
+  // before the slot is reusable — the dispatch path's move-out.
+  void FreeSlot(std::uint32_t slot, Callback* fn = nullptr);
+  bool SlotLive(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].gen == gen;
+  }
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t clamped_events_ = 0;
   std::size_t max_queue_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t live_events_ = 0;
+  CalendarQueue queue_;
+  std::vector<EventSlot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  static constexpr std::uint32_t kNoFreeSlot = ~static_cast<std::uint32_t>(0);
   DispatchObserver observer_;
   DispatchHook dispatch_hook_ = nullptr;
   void* dispatch_hook_ctx_ = nullptr;
   Counter* clamp_counter_ = nullptr;
   std::unordered_map<std::uint64_t, const char*> component_by_seq_;
 };
+
+inline void EventHandle::Cancel() {
+  if (sim_ != nullptr && sim_->SlotLive(slot_, gen_)) sim_->FreeSlot(slot_);
+}
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->SlotLive(slot_, gen_);
+}
 
 }  // namespace viator::sim

@@ -134,52 +134,6 @@ double TimeSeries::Mean() const {
   return s / static_cast<double>(samples_.size());
 }
 
-namespace {
-
-// find-or-emplace with a string_view key: the transparent find never
-// allocates; only first-time registration materializes a std::string.
-template <typename Map>
-auto& GetOrCreate(Map& map, std::string_view name) {
-  auto it = map.find(name);
-  if (it == map.end()) {
-    it = map.emplace(std::string(name), typename Map::mapped_type{}).first;
-  }
-  return it->second;
-}
-
-}  // namespace
-
-Counter& StatsRegistry::GetCounter(std::string_view name) {
-  return GetOrCreate(counters_, name);
-}
-
-Gauge& StatsRegistry::GetGauge(std::string_view name) {
-  return GetOrCreate(gauges_, name);
-}
-
-Histogram& StatsRegistry::GetHistogram(std::string_view name) {
-  return GetOrCreate(histograms_, name);
-}
-
-TimeSeries& StatsRegistry::GetTimeSeries(std::string_view name) {
-  return GetOrCreate(series_, name);
-}
-
-std::uint64_t StatsRegistry::CounterValue(std::string_view name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second.value();
-}
-
-const Histogram* StatsRegistry::FindHistogram(std::string_view name) const {
-  const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
-}
-
-const TimeSeries* StatsRegistry::FindTimeSeries(std::string_view name) const {
-  const auto it = series_.find(name);
-  return it == series_.end() ? nullptr : &it->second;
-}
-
 MeanStddev Summarize(const std::vector<double>& values) {
   MeanStddev out;
   if (values.empty()) return out;

@@ -9,12 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/flat_map.h"
 #include "sim/time.h"
 
 namespace viator::sim {
@@ -148,40 +147,49 @@ class TimeSeries {
 };
 
 /// Name → metric store. One registry per simulation replica; benches merge
-/// registries across replicas by name. Lookups take string_views against
-/// heterogeneous-comparator maps, so hot-path reads of existing metrics
-/// never allocate.
+/// registries across replicas by name. Metrics live in sorted flat vectors
+/// (base::FlatNameMap): string_view binary-search lookups never allocate,
+/// iteration stays lexicographic (export order is unchanged from the old
+/// std::map implementation), and metric addresses are stable, so hot paths
+/// resolve a Counter&/Histogram& once and keep it across registry growth.
 class StatsRegistry {
  public:
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
-  TimeSeries& GetTimeSeries(std::string_view name);
+  Counter& GetCounter(std::string_view name) {
+    return counters_.GetOrCreate(name);
+  }
+  Gauge& GetGauge(std::string_view name) { return gauges_.GetOrCreate(name); }
+  Histogram& GetHistogram(std::string_view name) {
+    return histograms_.GetOrCreate(name);
+  }
+  TimeSeries& GetTimeSeries(std::string_view name) {
+    return series_.GetOrCreate(name);
+  }
 
   /// Counter value or 0 when absent (read-only accessor for reports).
-  std::uint64_t CounterValue(std::string_view name) const;
+  std::uint64_t CounterValue(std::string_view name) const {
+    const Counter* c = counters_.Find(name);
+    return c == nullptr ? 0 : c->value();
+  }
   /// Histogram lookup (nullptr when absent).
-  const Histogram* FindHistogram(std::string_view name) const;
-  const TimeSeries* FindTimeSeries(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const {
+    return histograms_.Find(name);
+  }
+  const TimeSeries* FindTimeSeries(std::string_view name) const {
+    return series_.Find(name);
+  }
 
-  const std::map<std::string, Counter, std::less<>>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, Gauge, std::less<>>& gauges() const {
-    return gauges_;
-  }
-  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+  const base::FlatNameMap<Counter>& counters() const { return counters_; }
+  const base::FlatNameMap<Gauge>& gauges() const { return gauges_; }
+  const base::FlatNameMap<Histogram>& histograms() const {
     return histograms_;
   }
-  const std::map<std::string, TimeSeries, std::less<>>& series() const {
-    return series_;
-  }
+  const base::FlatNameMap<TimeSeries>& series() const { return series_; }
 
  private:
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
-  std::map<std::string, TimeSeries, std::less<>> series_;
+  base::FlatNameMap<Counter> counters_;
+  base::FlatNameMap<Gauge> gauges_;
+  base::FlatNameMap<Histogram> histograms_;
+  base::FlatNameMap<TimeSeries> series_;
 };
 
 /// Mean and sample standard deviation of a vector (used when aggregating a

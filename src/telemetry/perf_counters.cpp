@@ -20,6 +20,9 @@ const char* MetricName(Metric metric) {
     case Metric::kExecutorPost: return "perf.executor_post";
     case Metric::kBarrierWait: return "perf.barrier_wait";
     case Metric::kMergeWindow: return "perf.merge_window";
+    case Metric::kRouteCacheHit: return "perf.route_cache_hit";
+    case Metric::kRouteCacheMiss: return "perf.route_cache_miss";
+    case Metric::kRouteCacheFill: return "perf.route_cache_fill";
     case Metric::kCount: break;
   }
   return "perf.unknown";

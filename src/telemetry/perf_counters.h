@@ -60,6 +60,9 @@ enum class Metric : std::uint8_t {
   kExecutorPost,      // post-window task (per-shard state hash)
   kBarrierWait,       // caller blocked waiting for the window's last shard
   kMergeWindow,       // single-threaded handoff merge at the barrier
+  kRouteCacheHit,     // NextHop answered from a live cached row (counted)
+  kRouteCacheMiss,    // NextHop had to (re)fill a row (counted)
+  kRouteCacheFill,    // one full first-hop BFS filling a cache row
   kCount,
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "base/flat_map.h"
 #include "base/hash.h"
 #include "base/rng.h"
 #include "base/status.h"
@@ -491,6 +492,79 @@ TEST(Strings, TablePrinterAlignsColumns) {
   EXPECT_NE(out.find("| name  | value |"), std::string::npos);
   EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
   EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+// ---- FlatMap / FlatNameMap -------------------------------------------------
+
+TEST(FlatMap, InsertFindEraseKeepKeyOrder) {
+  base::FlatMap<int, std::string> m;
+  m[30] = "c";
+  m[10] = "a";
+  m[20] = "b";
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(20), m.end());
+  EXPECT_EQ(m.find(20)->second, "b");
+  EXPECT_EQ(m.find(99), m.end());
+  // Iteration is ascending-key, exactly like std::map.
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{10, 20, 30}));
+  // erase(key) and erase(iterator) with the std::map contract.
+  EXPECT_EQ(m.erase(20), 1u);
+  EXPECT_EQ(m.erase(20), 0u);
+  auto it = m.erase(m.find(10));
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->first, 30);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructsOnce) {
+  base::FlatMap<int, int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] = 7;
+  EXPECT_EQ(m[5], 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseIteratorLoopMatchesStdMapIdiom) {
+  base::FlatMap<int, int> m;
+  for (int i = 0; i < 10; ++i) m[i] = i;
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(FlatNameMap, LexicographicIterationAndStableAddresses) {
+  base::FlatNameMap<int> m;
+  int* b = &m.GetOrCreate("bravo");
+  int* a = &m.GetOrCreate("alpha");
+  *b = 2;
+  *a = 1;
+  // Growth must not move values: the addresses handed out stay live.
+  for (int i = 0; i < 100; ++i) m.GetOrCreate("filler" + std::to_string(i));
+  EXPECT_EQ(&m.GetOrCreate("alpha"), a);
+  EXPECT_EQ(&m.GetOrCreate("bravo"), b);
+  EXPECT_EQ(*a, 1);
+  // Iteration yields names in lexicographic order via structured bindings.
+  std::string previous;
+  for (const auto& [name, value] : m) {
+    EXPECT_LT(previous, name);
+    previous = name;
+  }
+  EXPECT_EQ(m.size(), 102u);
+  EXPECT_TRUE(m.contains("alpha"));
+  EXPECT_FALSE(m.contains("zulu"));
+  EXPECT_EQ(m.at("bravo"), 2);
+  ASSERT_NE(m.find("bravo"), m.end());
+  EXPECT_EQ(m.find("bravo")->second, 2);
+  EXPECT_EQ(m.Find("zulu"), nullptr);
 }
 
 }  // namespace

@@ -434,6 +434,14 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
                                  .stall_ns = 0,
                                  .queue_depth = 2.0});
   stats.GetCounter("shard.windows").Add(2);
+  // Route-cache gauges ride the same exporter under the shard prefix. A
+  // 4-node line probed twice from node 0 is one fill then one hit —
+  // deterministic values forever.
+  net::Topology line = net::MakeLine(4);
+  ASSERT_EQ(line.NextHop(0, 3), 1u);
+  ASSERT_EQ(line.NextHop(0, 2), 1u);
+  net::PublishRouteCacheStats(stats, line,
+                              telemetry::ShardMetricName(0, "route_cache"));
   std::ostringstream out;
   telemetry::WritePrometheusText(stats, out);
 

@@ -1,7 +1,10 @@
 // Tests for the discrete-event kernel, statistics and the replica runner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -520,6 +523,145 @@ TEST(Replica, ZeroReplicasYieldsEmpty) {
       [](std::size_t, std::uint64_t) { return ReplicaMetrics{{"x", 1.0}}; },
       0, 1, 1);
   EXPECT_TRUE(result.empty());
+}
+
+// ---- Calendar-queue scheduler edge cases -----------------------------------
+
+TEST(CalendarQueue, SameTimestampBurstDispatchesInScheduleOrder) {
+  // A burst of events at one instant must dispatch in exact schedule
+  // (sequence) order — the (when, seq) total order the journal depends on.
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    s.ScheduleAt(500, [&order, i] { order.push_back(i); });
+  }
+  s.RunAll();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST(CalendarQueue, FarFutureEventsInterleaveCorrectly) {
+  // Events far beyond the calendar's current "year" (same bucket modulo
+  // the ring) must not jump the queue; near events keep dispatching first.
+  Simulator s;
+  std::vector<TimePoint> fired;
+  const auto record = [&] { fired.push_back(s.now()); };
+  s.ScheduleAt(1'000'000'000'000, record);   // ~17 virtual minutes out
+  s.ScheduleAt(10, record);
+  s.ScheduleAt(999'999'999'999, record);
+  s.ScheduleAt(500'000'000'000, record);
+  s.ScheduleAt(11, record);
+  s.RunAll();
+  const std::vector<TimePoint> expect = {10, 11, 500'000'000'000,
+                                         999'999'999'999, 1'000'000'000'000};
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(CalendarQueue, CancellationChurnKeepsOrderAndCounts) {
+  // Cancel every other event after queueing: survivors must dispatch in
+  // order, cancelled slots must neither fire nor leak into PendingEvents.
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(
+        s.ScheduleAt(100 + (i % 7), [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].Cancel();
+  EXPECT_EQ(s.PendingEvents(), 100u);
+  s.RunAll();
+  ASSERT_EQ(order.size(), 100u);
+  // Survivors sorted by (when, seq): group by timestamp 100..106, then seq.
+  std::vector<int> expect;
+  for (int when = 0; when < 7; ++when) {
+    for (int i = 1; i < 200; i += 2) {
+      if (i % 7 == when) expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
+TEST(CalendarQueue, RestoreClockAcrossQueuedTombstones) {
+  // RestoreClock requires an empty schedule; cancelled-but-still-queued
+  // tombstones must not count against that.
+  Simulator s;
+  EventHandle h = s.ScheduleAt(50, [] {});
+  h.Cancel();
+  EXPECT_EQ(s.PendingEvents(), 0u);
+  EXPECT_TRUE(s.RestoreClock(1000, 0).ok());
+  EXPECT_EQ(s.now(), 1000u);
+  // And scheduling after the jump lands relative to the restored clock.
+  TimePoint fired = 0;
+  s.ScheduleAfter(5, [&] { fired = s.now(); });
+  s.RunAll();
+  EXPECT_EQ(fired, 1005u);
+}
+
+TEST(CalendarQueue, DispatchMovesCallbacksInsteadOfCopying) {
+  // Regression for the old priority_queue const_cast move-out hack: once a
+  // callback is queued, dispatch must MOVE it out of its slot, never copy
+  // it (std::function itself requires copyable targets, so count copies
+  // through a capture instead of using a move-only one).
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& other) : copies(other.copies) {
+      ++*copies;
+    }
+    CopyCounter(CopyCounter&& other) noexcept : copies(other.copies) {}
+    CopyCounter& operator=(const CopyCounter&) = delete;
+    CopyCounter& operator=(CopyCounter&&) = delete;
+  };
+  Simulator s;
+  int copies = 0;
+  bool fired = false;
+  {
+    CopyCounter counter(&copies);
+    s.ScheduleAt(10, [&fired, counter = std::move(counter)] { fired = true; });
+  }
+  const int copies_after_schedule = copies;
+  s.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(copies, copies_after_schedule)
+      << "dispatch copied the callback instead of moving it";
+}
+
+TEST(CalendarQueue, HandleReadsFiredDuringOwnCallback) {
+  // Contract carried over from the shared_ptr<bool> era: while an event's
+  // callback runs, the handle already reads "fired" (slot freed first).
+  Simulator s;
+  EventHandle h;
+  bool pending_inside = true;
+  h = s.ScheduleAt(10, [&] { pending_inside = h.pending(); });
+  EXPECT_TRUE(h.pending());
+  s.RunAll();
+  EXPECT_FALSE(pending_inside);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(CalendarQueue, ManyBucketResizesPreserveTotalOrder) {
+  // Push enough events with spread-out timestamps to force calendar grows,
+  // then drain while pushing more (shrink pressure): total order must hold.
+  Simulator s;
+  Rng rng(99);
+  std::vector<std::pair<TimePoint, int>> expect;
+  int tag = 0;
+  std::vector<std::pair<TimePoint, int>> fired;
+  for (int i = 0; i < 5000; ++i) {
+    const TimePoint when = rng.UniformInt(1, 1'000'000);
+    expect.emplace_back(when, tag);
+    s.ScheduleAt(when, [&fired, &s, when, t = tag] {
+      fired.emplace_back(when, t);
+    });
+    ++tag;
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  s.RunAll();
+  EXPECT_EQ(fired, expect);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "net/mobility.h"
 #include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
 
 namespace viator::net {
 namespace {
@@ -189,6 +192,170 @@ TEST(Generators, GeometricRespectsRange) {
 
 TEST(Generators, DistanceIsEuclidean) {
   EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+// ---- Route cache -----------------------------------------------------------
+
+// The acceptance gate for the cache: a cached next hop must equal the
+// fresh-BFS-per-pair answer for EVERY (from, to) pair, across generator
+// families and through arbitrary structural churn. The cache is only allowed
+// to be faster, never different.
+TEST(RouteCache, DecisionIdenticalToPerPairBfs) {
+  Rng rng(20260808);
+  std::vector<Topology> worlds;
+  worlds.push_back(MakeLine(9));
+  worlds.push_back(MakeRing(12));
+  worlds.push_back(MakeStar(8));
+  worlds.push_back(MakeGrid(4, 4));
+  worlds.push_back(MakeRandom(14, 0.3, rng));
+  for (Topology& t : worlds) {
+    const auto check_all_pairs = [&t]() {
+      for (NodeId from = 0; from < t.node_count(); ++from) {
+        for (NodeId to = 0; to < t.node_count(); ++to) {
+          ASSERT_EQ(t.NextHop(from, to), t.NextHopUncached(from, to))
+              << "from=" << from << " to=" << to;
+        }
+      }
+    };
+    check_all_pairs();
+    // Structural churn: drop a link, drop a node, heal both, add a chord.
+    if (t.link_count() > 0) {
+      t.SetLinkUp(0, false);
+      check_all_pairs();
+    }
+    t.SetNodeUp(1, false);
+    check_all_pairs();
+    t.SetNodeUp(1, true);
+    if (t.link_count() > 0) t.SetLinkUp(0, true);
+    check_all_pairs();
+    t.AddLink(0, static_cast<NodeId>(t.node_count() - 1));
+    check_all_pairs();
+  }
+}
+
+TEST(RouteCache, NeverRoutesOverDownLink) {
+  // Warm the cache on a line, then cut the middle link: the cached first
+  // hop 1 (toward 2) must disappear immediately, not after some TTL.
+  Topology t = MakeLine(4);  // 0-1-2-3
+  ASSERT_EQ(t.NextHop(0, 3), 1u);
+  const LinkId middle = *t.FindLink(1, 2);
+  t.SetLinkUp(middle, false);
+  EXPECT_EQ(t.NextHop(0, 3), kInvalidNode);
+  EXPECT_EQ(t.NextHop(1, 2), kInvalidNode);
+  // Heal: the route must come back just as immediately.
+  t.SetLinkUp(middle, true);
+  EXPECT_EQ(t.NextHop(0, 3), 1u);
+}
+
+TEST(RouteCache, NodeFailureInvalidatesCachedRows) {
+  // Ring 0-1-2-3-0: from 0 to 2 both ways tie, BFS order picks via 1. Kill
+  // node 1 and the cached row must reroute via 3; revive and it flips back.
+  Topology t = MakeRing(4);
+  const NodeId via_before = t.NextHop(0, 2);
+  ASSERT_EQ(via_before, t.NextHopUncached(0, 2));
+  t.SetNodeUp(via_before, false);
+  const NodeId via_after = t.NextHop(0, 2);
+  EXPECT_NE(via_after, via_before);
+  EXPECT_EQ(via_after, t.NextHopUncached(0, 2));
+  t.SetNodeUp(via_before, true);
+  EXPECT_EQ(t.NextHop(0, 2), via_before);
+}
+
+TEST(RouteCache, StatsCountHitsMissesInvalidations) {
+  Topology t = MakeLine(4);
+  EXPECT_EQ(t.route_cache_stats().hits, 0u);
+  (void)t.NextHop(0, 3);  // cold: one fill
+  EXPECT_EQ(t.route_cache_stats().misses, 1u);
+  (void)t.NextHop(0, 2);  // same row: hit
+  (void)t.NextHop(0, 1);
+  EXPECT_EQ(t.route_cache_stats().hits, 2u);
+  const std::uint64_t gen = t.generation();
+  t.SetLinkUp(0, false);  // structural change bumps the generation
+  EXPECT_GT(t.generation(), gen);
+  (void)t.NextHop(0, 3);  // stale row: lazy invalidation + refill
+  EXPECT_EQ(t.route_cache_stats().invalidations, 1u);
+  EXPECT_EQ(t.route_cache_stats().misses, 2u);
+  // Toggling to the same state is not a change and must not invalidate.
+  t.SetLinkUp(0, false);
+  (void)t.NextHop(0, 1);
+  EXPECT_EQ(t.route_cache_stats().invalidations, 1u);
+}
+
+TEST(RouteCache, LruEvictionKeepsCapacityBound) {
+  Topology t = MakeRing(6);
+  t.SetRouteCacheCapacity(2);
+  (void)t.NextHop(0, 3);
+  (void)t.NextHop(1, 4);
+  (void)t.NextHop(2, 5);  // evicts the LRU row (source 0)
+  EXPECT_EQ(t.route_cache_stats().evictions, 1u);
+  (void)t.NextHop(0, 3);  // source 0 must refill — and still be correct
+  EXPECT_EQ(t.route_cache_stats().evictions, 2u);
+  EXPECT_EQ(t.NextHop(0, 3), t.NextHopUncached(0, 3));
+}
+
+TEST(RouteCache, MobilityRewiringNeverServesStaleHops) {
+  // An ad-hoc world whose radio graph is rewired every update: after each
+  // rewire every cached next hop must match a fresh BFS, and no served hop
+  // may cross a link the rewire took down.
+  sim::Simulator simulator;
+  Topology t;
+  const std::size_t n = 10;
+  t.AddNodes(n);
+  RandomWaypointMobility::Config mob_config;
+  mob_config.width_m = 300.0;
+  mob_config.height_m = 300.0;
+  mob_config.min_speed_mps = 40.0;  // fast, so links genuinely churn
+  mob_config.max_speed_mps = 80.0;
+  AdhocManager manager(simulator, t,
+                       RandomWaypointMobility(n, mob_config, Rng(42)), 120.0,
+                       100 * sim::kMillisecond, LinkConfig{});
+  for (int round = 0; round < 12; ++round) {
+    manager.Update();
+    for (NodeId from = 0; from < n; ++from) {
+      for (NodeId to = 0; to < n; ++to) {
+        const NodeId hop = t.NextHop(from, to);
+        ASSERT_EQ(hop, t.NextHopUncached(from, to))
+            << "round=" << round << " from=" << from << " to=" << to;
+        if (hop != kInvalidNode) {
+          ASSERT_TRUE(t.FindLink(from, hop).has_value())
+              << "served hop crosses a down/absent link";
+        }
+      }
+    }
+  }
+  EXPECT_GT(manager.link_transitions(), 0u);
+  EXPECT_GT(t.route_cache_stats().invalidations, 0u);
+}
+
+TEST(RouteCache, PublishesGaugesIntoRegistry) {
+  sim::StatsRegistry stats;
+  Topology t = MakeLine(4);
+  (void)t.NextHop(0, 3);
+  (void)t.NextHop(0, 2);
+  PublishRouteCacheStats(stats, t);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.hits").value(), 1.0);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.misses").value(), 1.0);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.hit_ratio").value(), 0.5);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.invalidations").value(), 0.0);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.evictions").value(), 0.0);
+  // Idempotent: publishing again overwrites, never accumulates.
+  PublishRouteCacheStats(stats, t);
+  EXPECT_EQ(stats.gauges().at("net.route_cache.hits").value(), 1.0);
+}
+
+TEST(RouteCache, DisabledCacheMatchesEnabled) {
+  Rng rng(7);
+  Topology cached = MakeRandom(12, 0.35, rng);
+  Topology uncached = cached;
+  uncached.SetRouteCacheEnabled(false);
+  for (NodeId from = 0; from < cached.node_count(); ++from) {
+    for (NodeId to = 0; to < cached.node_count(); ++to) {
+      ASSERT_EQ(cached.NextHop(from, to), uncached.NextHop(from, to));
+    }
+  }
+  // The disabled side must not have touched its cache counters.
+  EXPECT_EQ(uncached.route_cache_stats().hits, 0u);
+  EXPECT_EQ(uncached.route_cache_stats().misses, 0u);
 }
 
 }  // namespace
