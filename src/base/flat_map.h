@@ -15,6 +15,12 @@
 //    lexicographic iteration (Prometheus export order preserved), and
 //    pointer-stable values — callers cache Counter*/Histogram* across
 //    arbitrary registry growth, exactly as std::map guaranteed.
+// Both flavors carry a MemDomain template tag (default kFlatMap; the
+// StatsRegistry instantiates kStatsRegistry) and report their backing-store
+// footprint to the memory observatory (telemetry/mem_counters.h): capacity
+// growth on insert, the whole store on destruction. Element-payload heap
+// (e.g. a TimeSeries' samples) belongs to the element's own domain, not the
+// table's; long names beyond the small-string buffer are charged per row.
 #pragma once
 
 #include <algorithm>
@@ -25,14 +31,72 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/mem_counters.h"
+
 namespace viator::base {
 
-template <typename K, typename V>
+namespace internal {
+
+/// Heap bytes behind one std::string: zero inside the small-string buffer,
+/// capacity + NUL otherwise. Deterministic for a given standard library,
+/// which is all the pinned baselines require.
+inline std::size_t StringHeapBytes(const std::string& s) {
+  constexpr std::size_t kSsoCapacity = std::string().capacity();
+  return s.capacity() <= kSsoCapacity ? 0 : s.capacity() + 1;
+}
+
+/// Domain-tagged charge/release pair shared by the flat containers.
+template <telemetry::mem::Domain Domain>
+inline void ChargeBytes(std::size_t bytes) {
+#if VIATOR_MEM_COUNTERS
+  if (bytes != 0) telemetry::mem::OnAlloc(Domain, bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+template <telemetry::mem::Domain Domain>
+inline void ReleaseBytes(std::size_t bytes) {
+#if VIATOR_MEM_COUNTERS
+  if (bytes != 0) telemetry::mem::OnFree(Domain, bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+}  // namespace internal
+
+template <typename K, typename V,
+          telemetry::mem::Domain Domain = telemetry::mem::Domain::kFlatMap>
 class FlatMap {
  public:
   using value_type = std::pair<K, V>;
   using iterator = typename std::vector<value_type>::iterator;
   using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+  FlatMap(const FlatMap& other) : entries_(other.entries_) {
+    internal::ChargeBytes<Domain>(CapacityBytes());
+  }
+  // Moves transfer the charged buffer wholesale (the moved-from vector is
+  // left with zero capacity), so the counters need no adjustment.
+  FlatMap(FlatMap&& other) noexcept = default;
+  FlatMap& operator=(const FlatMap& other) {
+    if (this != &other) {
+      internal::ReleaseBytes<Domain>(CapacityBytes());
+      entries_ = other.entries_;
+      internal::ChargeBytes<Domain>(CapacityBytes());
+    }
+    return *this;
+  }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      internal::ReleaseBytes<Domain>(CapacityBytes());
+      entries_ = std::move(other.entries_);
+    }
+    return *this;
+  }
+  ~FlatMap() { internal::ReleaseBytes<Domain>(CapacityBytes()); }
 
   iterator begin() { return entries_.begin(); }
   iterator end() { return entries_.end(); }
@@ -56,7 +120,14 @@ class FlatMap {
   V& operator[](const K& key) {
     auto it = LowerBound(key);
     if (it == entries_.end() || it->first != key) {
-      it = entries_.insert(it, value_type(key, V{}));
+      const std::size_t before = entries_.capacity();
+      const std::size_t index = static_cast<std::size_t>(it - entries_.begin());
+      entries_.insert(it, value_type(key, V{}));
+      if (entries_.capacity() != before) {
+        internal::ChargeBytes<Domain>((entries_.capacity() - before) *
+                                      sizeof(value_type));
+      }
+      it = entries_.begin() + static_cast<std::ptrdiff_t>(index);
     }
     return it->second;
   }
@@ -70,6 +141,10 @@ class FlatMap {
   }
 
  private:
+  std::size_t CapacityBytes() const {
+    return entries_.capacity() * sizeof(value_type);
+  }
+
   iterator LowerBound(const K& key) {
     return std::lower_bound(
         entries_.begin(), entries_.end(), key,
@@ -84,18 +159,38 @@ class FlatMap {
   std::vector<value_type> entries_;
 };
 
-template <typename T>
+template <typename T,
+          telemetry::mem::Domain Domain = telemetry::mem::Domain::kFlatMap>
 class FlatNameMap {
   struct Row;
 
  public:
+  FlatNameMap() = default;
+  FlatNameMap(FlatNameMap&&) noexcept = default;
+  FlatNameMap& operator=(FlatNameMap&& other) noexcept {
+    if (this != &other) {
+      internal::ReleaseBytes<Domain>(OwnedBytes());
+      rows_ = std::move(other.rows_);
+    }
+    return *this;
+  }
+  ~FlatNameMap() { internal::ReleaseBytes<Domain>(OwnedBytes()); }
+
   /// Finds or creates the named value. The returned reference (and the
   /// address behind it) stays valid for the map's lifetime: values live
   /// behind unique_ptrs, only the index vector moves.
   T& GetOrCreate(std::string_view name) {
     auto it = LowerBound(name);
     if (it == rows_.end() || it->name != name) {
+      const std::size_t before = rows_.capacity();
+      const std::size_t index = static_cast<std::size_t>(it - rows_.begin());
       it = rows_.insert(it, Row{std::string(name), std::make_unique<T>()});
+      std::size_t grown = sizeof(T) + internal::StringHeapBytes(it->name);
+      if (rows_.capacity() != before) {
+        grown += (rows_.capacity() - before) * sizeof(Row);
+      }
+      internal::ChargeBytes<Domain>(grown);
+      it = rows_.begin() + static_cast<std::ptrdiff_t>(index);
     }
     return *it->value;
   }
@@ -160,6 +255,16 @@ class FlatNameMap {
     std::string name;
     std::unique_ptr<T> value;
   };
+
+  /// Exactly what the incremental charges summed to: the index vector's
+  /// capacity plus each row's value object and out-of-buffer name bytes.
+  std::size_t OwnedBytes() const {
+    std::size_t bytes = rows_.capacity() * sizeof(Row);
+    for (const Row& row : rows_) {
+      bytes += sizeof(T) + internal::StringHeapBytes(row.name);
+    }
+    return bytes;
+  }
 
   typename std::vector<Row>::const_iterator LowerBound(
       std::string_view name) const {

@@ -39,6 +39,7 @@ void FactStore::Touch(FactKey key, std::int64_t value, double weight,
   f.last_touch = now;
   f.created = now;
   facts_.emplace(key, f);
+  AccountMem();
 }
 
 std::optional<std::int64_t> FactStore::Get(FactKey key) const {
@@ -52,7 +53,11 @@ const Fact* FactStore::Find(FactKey key) const {
   return it == facts_.end() ? nullptr : &it->second;
 }
 
-bool FactStore::Erase(FactKey key) { return facts_.erase(key) > 0; }
+bool FactStore::Erase(FactKey key) {
+  const bool erased = facts_.erase(key) > 0;
+  if (erased) AccountMem();
+  return erased;
+}
 
 double FactStore::EffectiveRate(const Fact& fact, sim::TimePoint now) const {
   // Rate over the elapsed window (or since the fact's birth when younger),
@@ -80,6 +85,7 @@ std::size_t FactStore::Sweep(sim::TimePoint now) {
     }
   }
   window_start_ = now;
+  if (deleted != 0) AccountMem();
   return deleted;
 }
 
@@ -124,6 +130,7 @@ void FactStore::RestoreState(const std::vector<Fact>& facts,
   window_start_ = window_start;
   evictions_ = evictions;
   expirations_ = expirations;
+  AccountMem();
 }
 
 }  // namespace viator::wli

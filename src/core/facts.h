@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::wli {
 
@@ -88,11 +89,26 @@ class FactStore {
                     std::uint64_t expirations);
 
  private:
+  // Estimated heap per stored fact: the hash node (value + next pointer)
+  // plus one bucket-array slot's share of pointer overhead. An estimate —
+  // but a deterministic one, which is what the pinned baselines need.
+  static constexpr std::size_t kFactNodeBytes =
+      sizeof(std::pair<const FactKey, Fact>) + 2 * sizeof(void*);
+
+  // Re-mirrors the table footprint (nodes + bucket array) into the
+  // kFactsGenome domain after a mutation. O(1).
+  void AccountMem() {
+    mem_bytes_.Set(facts_.size() * kFactNodeBytes +
+                   facts_.bucket_count() * sizeof(void*));
+  }
+
   FactStoreConfig config_;
   std::unordered_map<FactKey, Fact> facts_;
   sim::TimePoint window_start_ = 0;
   std::uint64_t evictions_ = 0;    // capacity pressure
   std::uint64_t expirations_ = 0;  // frequency-threshold deaths
+  telemetry::mem::ChargedBytes<telemetry::mem::Domain::kFactsGenome>
+      mem_bytes_;
 };
 
 }  // namespace viator::wli

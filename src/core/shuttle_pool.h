@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/shuttle.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::wli {
 
@@ -40,6 +41,9 @@ class ShuttlePool {
     ++reused_;
     Shuttle s = std::move(free_.back());
     free_.pop_back();
+    const std::size_t bytes = ShellBytes(s);
+    retained_bytes_ -= bytes;
+    VIATOR_MEM_FREE(kShuttlePool, bytes);
     return s;
   }
 
@@ -72,6 +76,12 @@ class ShuttlePool {
     s.auth_tag = 0;
     s.transit_destination = net::kInvalidNode;
     s.trace = telemetry::TraceContext{};
+    const std::size_t bytes = ShellBytes(s);
+    retained_bytes_ += bytes;
+    if (retained_bytes_ > peak_retained_bytes_) {
+      peak_retained_bytes_ = retained_bytes_;
+    }
+    VIATOR_MEM_ALLOC(kShuttlePool, bytes);
     free_.push_back(std::move(s));
   }
 
@@ -81,12 +91,36 @@ class ShuttlePool {
   std::uint64_t reused() const { return reused_; }
   std::uint64_t released() const { return released_; }
 
+  /// Heap bytes currently parked behind pooled shells (the three variable
+  /// sections' capacities), and the high-water mark of that figure. Both
+  /// are deterministic functions of the traffic, so benches pin them and
+  /// genesis snapshots carry the peak across restore.
+  std::size_t retained_bytes() const { return retained_bytes_; }
+  std::size_t peak_retained_bytes() const { return peak_retained_bytes_; }
+
+  /// Genesis restore hook: a freshly restored pool is empty (live bytes 0)
+  /// but must remember the recorded run's high-water mark so capacity
+  /// reports stay bit-identical across snapshot→restore.
+  void RestorePeakRetainedBytes(std::size_t peak) {
+    peak_retained_bytes_ = peak;
+  }
+
  private:
+  /// Heap capacity behind one shell's variable sections — exactly what a
+  /// pooled shell keeps alive while parked on the free list.
+  static std::size_t ShellBytes(const Shuttle& s) {
+    return s.code_image.capacity() * sizeof(std::byte) +
+           s.payload.capacity() * sizeof(std::int64_t) +
+           s.genome.capacity() * sizeof(std::byte);
+  }
+
   std::vector<Shuttle> free_;
   std::size_t max_pooled_;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;
   std::uint64_t released_ = 0;
+  std::size_t retained_bytes_ = 0;
+  std::size_t peak_retained_bytes_ = 0;
 };
 
 }  // namespace viator::wli

@@ -216,6 +216,7 @@ class WanderingNetwork {
   /// Free-list of shuttle shells: ships release consumed shuttles here and
   /// hot senders acquire from it, recycling section-buffer capacity.
   ShuttlePool& shuttle_pool() { return shuttle_pool_; }
+  const ShuttlePool& shuttle_pool() const { return shuttle_pool_; }
   Rng& rng() { return rng_; }
   const Rng& rng() const { return rng_; }
   FunctionId NextFunctionId() { return next_function_id_++; }

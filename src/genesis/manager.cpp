@@ -61,6 +61,7 @@ std::vector<GenesisManager::BuiltSection> GenesisManager::BuildSections() {
   add(kSectionFabric, SaveFabric(network_));
   add(kSectionStats, SaveStats(network_.stats()));
   add(kSectionTrace, SaveTrace(network_.trace()));
+  add(kSectionMemPeaks, SaveMemPeaks(network_));
   for (const Snapshotable* extra : extras_) {
     sections.push_back(
         BuiltSection{extra->section_id(), extra->section_version(),
@@ -180,6 +181,9 @@ Status GenesisManager::RestoreFull(std::span<const std::byte> bytes) {
        [](std::span<const std::byte> p, wli::WanderingNetwork& n) {
          return LoadTrace(p, n.trace());
        }},
+      // Last on purpose: by now every pending event has been rescheduled,
+      // so the monotone queue-peak restore sits on top of the rebuild.
+      {kSectionMemPeaks, &LoadMemPeaks},
   };
   for (const Step& step : kSteps) {
     const SectionRecord* section = snap.Find(step.id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "base/tlv.h"
@@ -1555,6 +1556,47 @@ Status LoadNetworkCounters(std::span<const std::byte> payload,
     }
   }
   network.RestoreCounters(migrations, emerged, pulses, next_function);
+  return OkStatus();
+}
+
+// ---- Memory watermarks ------------------------------------------------------
+
+namespace {
+constexpr TlvTag kTagPeakQueueHeapBytes = 0x01;
+constexpr TlvTag kTagPeakPoolRetainedBytes = 0x02;
+}  // namespace
+
+std::vector<std::byte> SaveMemPeaks(const wli::WanderingNetwork& network) {
+  auto& mutable_network = const_cast<wli::WanderingNetwork&>(network);
+  TlvWriter w;
+  w.PutU64(kTagPeakQueueHeapBytes,
+           mutable_network.simulator().queue_peak_heap_bytes());
+  w.PutU64(kTagPeakPoolRetainedBytes,
+           network.shuttle_pool().peak_retained_bytes());
+  return w.Finish();
+}
+
+Status LoadMemPeaks(std::span<const std::byte> payload,
+                    wli::WanderingNetwork& network) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  std::uint64_t queue_peak = 0;
+  std::optional<std::uint64_t> pool_peak;
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    if (rec->tag == kTagPeakQueueHeapBytes) queue_peak = rec->AsU64();
+    if (rec->tag == kTagPeakPoolRetainedBytes) pool_peak = rec->AsU64();
+  }
+  // This section loads last, after every pending event has been
+  // rescheduled, so the monotone restore folds the saved peak into whatever
+  // the rebuild itself already reached. Pre-observatory snapshots have no
+  // section at all and simply keep the fresh world's own watermarks.
+  network.simulator().RestoreQueuePeakHeapBytes(queue_peak);
+  if (pool_peak.has_value()) {
+    network.shuttle_pool().RestorePeakRetainedBytes(
+        static_cast<std::size_t>(*pool_peak));
+  }
   return OkStatus();
 }
 

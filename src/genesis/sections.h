@@ -102,4 +102,11 @@ std::vector<std::byte> SaveNetworkCounters(
 Status LoadNetworkCounters(std::span<const std::byte> payload,
                            wli::WanderingNetwork& network);
 
+/// Memory watermarks (calendar-queue heap peak, shuttle-pool retained
+/// peak). Advisory telemetry, kept out of the decision-state sections: see
+/// the kSectionMemPeaks note in snapshot.h.
+std::vector<std::byte> SaveMemPeaks(const wli::WanderingNetwork& network);
+Status LoadMemPeaks(std::span<const std::byte> payload,
+                    wli::WanderingNetwork& network);
+
 }  // namespace viator::genesis

@@ -86,6 +86,7 @@ std::string SectionName(std::uint32_t id) {
     case kSectionMorphing: return "morphing";
     case kSectionFeedback: return "feedback";
     case kSectionNetworkCounters: return "network-counters";
+    case kSectionMemPeaks: return "mem-peaks";
     default:
       if (id >= kExtraSectionBase) {
         return "extra:" + std::to_string(id);
@@ -102,6 +103,7 @@ void SnapshotBuilder::AddSection(std::uint32_t id,
   section.version = version;
   section.digest = HashBytes(payload);
   section.payload = std::move(payload);
+  mem_bytes_.Add(section.payload.capacity());
   sections_.push_back(std::move(section));
 }
 

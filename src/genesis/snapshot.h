@@ -20,6 +20,7 @@
 #include "base/hash.h"
 #include "base/status.h"
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::genesis {
 
@@ -51,6 +52,12 @@ enum SectionId : std::uint32_t {
   kSectionMorphing,
   kSectionFeedback,
   kSectionNetworkCounters,
+  /// Memory watermarks (pool / queue peak bytes). Advisory telemetry: the
+  /// peaks round-trip a restore so a resumed world remembers its high-water
+  /// marks, but they are not decision state — pools restore empty by
+  /// design, so a resumed run's subsequent watermarks may lawfully diverge
+  /// from the uninterrupted run's (see GenesisResume tests).
+  kSectionMemPeaks,
   kExtraSectionBase = 0x1000,
 };
 
@@ -87,6 +94,10 @@ class SnapshotBuilder {
  private:
   SnapshotHeader header_;
   std::vector<SectionRecord> sections_;
+  // Accumulated section payload bytes, attributed to the kGenesisBuffer
+  // domain while the builder holds them (released when the builder dies).
+  telemetry::mem::ChargedBytes<telemetry::mem::Domain::kGenesisBuffer>
+      mem_bytes_;
 };
 
 struct ParsedSnapshot {

@@ -10,6 +10,7 @@ std::string_view HealthEventKindName(HealthEventKind kind) {
     case HealthEventKind::kDegradedShip: return "degraded-ship";
     case HealthEventKind::kStarvedEe: return "starved-ee";
     case HealthEventKind::kRoutingLoop: return "routing-loop";
+    case HealthEventKind::kMemGrowth: return "mem_growth";
     case HealthEventKind::kKindCount: break;
   }
   return "?";

@@ -73,6 +73,7 @@ enum class HealthEventKind : std::uint8_t {
   kDegradedShip = 0,  // slow, congested or unreachable ship
   kStarvedEe,         // code misses accumulate but nothing ever executes
   kRoutingLoop,       // one probe crossed the same ship repeatedly
+  kMemGrowth,         // a memory domain grew monotonically past its slack
   kKindCount,
 };
 

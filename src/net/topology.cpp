@@ -152,13 +152,18 @@ void Topology::SetRouteCacheCapacity(std::size_t rows) {
       row_of_[victim.from] = kInvalidNode;
     }
     ++cache_stats_.evictions;
+    cache_bytes_.Sub(victim.first_hop.capacity() * sizeof(NodeId));
     rows_.pop_back();
   }
 }
 
 Topology::CacheRow& Topology::RouteRowFor(NodeId from) const {
   if (row_of_.size() < node_count_) {
+    const std::size_t before = row_of_.capacity();
     row_of_.resize(node_count_, kInvalidNode);
+    if (row_of_.capacity() != before) {
+      cache_bytes_.Add((row_of_.capacity() - before) * sizeof(std::uint32_t));
+    }
   }
   const std::uint32_t idx = row_of_[from];
   if (idx != kInvalidNode && rows_[idx].from == from) {
@@ -178,7 +183,11 @@ Topology::CacheRow& Topology::RouteRowFor(NodeId from) const {
   ++cache_stats_.misses;
   VIATOR_PERF_COUNT(kRouteCacheMiss);
   if (rows_.size() < cache_capacity_) {
+    const std::size_t before = rows_.capacity();
     rows_.emplace_back();
+    if (rows_.capacity() != before) {
+      cache_bytes_.Add((rows_.capacity() - before) * sizeof(CacheRow));
+    }
     row_of_[from] = static_cast<std::uint32_t>(rows_.size() - 1);
     CacheRow& row = rows_.back();
     FillRow(row, from);
@@ -203,7 +212,11 @@ void Topology::FillRow(Topology::CacheRow& row, NodeId from) const {
   VIATOR_PERF_SCOPE(kRouteCacheFill);
   row.from = from;
   row.gen = generation_;
+  const std::size_t before = row.first_hop.capacity();
   row.first_hop.assign(node_count_, kInvalidNode);
+  if (row.first_hop.capacity() != before) {
+    cache_bytes_.Add((row.first_hop.capacity() - before) * sizeof(NodeId));
+  }
   // One full BFS with first-hop label propagation. Expansion order and
   // first-touch parent assignment are identical to ShortestPath(), so for
   // every destination `d` the label equals ShortestPath(from, d)[1]; the

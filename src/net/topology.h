@@ -27,6 +27,7 @@
 #include "base/rng.h"
 #include "net/types.h"
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::sim {
 class StatsRegistry;
@@ -124,6 +125,11 @@ class Topology {
 
   const RouteCacheStats& route_cache_stats() const { return cache_stats_; }
 
+  /// Heap bytes behind the cache (row index, row spine, first-hop stores),
+  /// tracked incrementally and mirrored into the memory observatory's
+  /// kRouteCache domain. Deterministic for a given query sequence.
+  std::size_t route_cache_bytes() const { return cache_bytes_.value(); }
+
   /// Monotone structural-change counter: bumps on every mutation that could
   /// change a shortest path. Cached rows stamped with an older generation
   /// are dead.
@@ -172,6 +178,10 @@ class Topology {
   mutable std::vector<std::uint32_t> row_of_;  // from -> index into rows_
   mutable std::uint64_t lru_tick_ = 0;
   mutable RouteCacheStats cache_stats_;
+  // Running cache footprint; ChargedBytes keeps the global kRouteCache
+  // domain consistent across topology copy/move/destroy.
+  mutable telemetry::mem::ChargedBytes<telemetry::mem::Domain::kRouteCache>
+      cache_bytes_;
 };
 
 /// Mirrors `topology`'s route-cache counters into `stats` as gauges:

@@ -46,6 +46,13 @@ std::string StreamName(std::uint32_t stream) {
 DecisionJournal::DecisionJournal(JournalConfig config) : config_(config) {
   if (config_.capacity == 0) config_.capacity = 1;
   ring_.reserve(config_.capacity);
+  SyncMemBytes();
+}
+
+void DecisionJournal::SyncMemBytes() {
+  mem_bytes_.Set(ring_.capacity() * sizeof(JournalRecord) +
+                 window_hashes_.capacity() *
+                     sizeof(std::pair<std::uint64_t, std::uint64_t>));
 }
 
 void DecisionJournal::Attach(wli::WanderingNetwork& network) {
@@ -100,7 +107,9 @@ void DecisionJournal::RecordWindowHash(std::uint64_t window,
                                        sim::TimePoint time) {
   Append(RecordKind::kWindowHash, static_cast<std::uint32_t>(window), time,
          state_hash);
+  const std::size_t before = window_hashes_.capacity();
   window_hashes_.emplace_back(window, state_hash);
+  if (window_hashes_.capacity() != before) SyncMemBytes();
 }
 
 void DecisionJournal::RecordShardHash(std::uint64_t window,
@@ -241,6 +250,7 @@ Status DecisionJournal::Load(std::span<const std::byte> payload) {
   total_records_ = total;
   rolling_digest_ = digest;
   window_hashes_ = std::move(windows);
+  SyncMemBytes();
   return OkStatus();
 }
 

@@ -29,6 +29,7 @@
 #include "genesis/snapshot.h"
 #include "genesis/snapshotable.h"
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::wli {
 class WanderingNetwork;
@@ -145,6 +146,11 @@ class DecisionJournal {
   void Append(RecordKind kind, std::uint32_t stream, sim::TimePoint time,
               std::uint64_t a);
 
+  // Re-mirrors the ring + window-hash capacities into the kJournalRing
+  // domain. O(1): capacities only change at construction, window-hash
+  // growth and Load().
+  void SyncMemBytes();
+
   static void DrawTrampoline(void* ctx, std::uint32_t stream,
                              std::uint64_t value);
   static void DispatchTrampoline(void* ctx, sim::TimePoint when,
@@ -158,6 +164,8 @@ class DecisionJournal {
   std::uint64_t total_records_ = 0;
   std::uint64_t rolling_digest_ = kFnvOffsetBasis;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> window_hashes_;
+  telemetry::mem::ChargedBytes<telemetry::mem::Domain::kJournalRing>
+      mem_bytes_;
 };
 
 /// Rides the journal in genesis snapshots (extra section), so a restored

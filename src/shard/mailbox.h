@@ -19,6 +19,7 @@
 #include "net/types.h"
 #include "shard/plan.h"
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 #include "telemetry/perf_counters.h"
 
 namespace viator::shard {
@@ -56,6 +57,18 @@ class MailboxGrid {
   explicit MailboxGrid(std::size_t shard_count)
       : stripes_(shard_count), total_handoffs_(0) {}
 
+  MailboxGrid(const MailboxGrid&) = delete;
+  MailboxGrid& operator=(const MailboxGrid&) = delete;
+
+  ~MailboxGrid() {
+#if VIATOR_MEM_COUNTERS
+    for (const Stripe& stripe : stripes_) {
+      VIATOR_MEM_FREE(kMailbox,
+                      stripe.pending.capacity() * sizeof(Handoff));
+    }
+#endif
+  }
+
   /// Deposits a handoff bound for `destination_shard`. Thread-safe; called
   /// from shard workers mid-window.
   void Push(ShardId destination_shard, Handoff handoff) {
@@ -64,7 +77,15 @@ class MailboxGrid {
     VIATOR_PERF_SCOPE(kMailboxPush);
     Stripe& stripe = stripes_[destination_shard];
     std::lock_guard<std::mutex> lock(stripe.mutex);
+    // Capacity growth lands on the pushing thread's counter block — the
+    // aggregate stays exact; retained stripe capacity is never released
+    // until the grid dies, mirroring the actual allocator behaviour.
+    const std::size_t before = stripe.pending.capacity();
     stripe.pending.push_back(std::move(handoff));
+    if (stripe.pending.capacity() != before) {
+      VIATOR_MEM_ALLOC(kMailbox, (stripe.pending.capacity() - before) *
+                                     sizeof(Handoff));
+    }
   }
 
   /// Drains every mailbox into one deterministically sorted batch (barrier
@@ -76,6 +97,16 @@ class MailboxGrid {
 
   /// True when every stripe is empty (quiescence check; barrier only).
   bool Empty() const;
+
+  /// Heap bytes retained by stripe backing stores (barrier only — assumes
+  /// no concurrent Push; folded into the per-window memory snapshot).
+  std::size_t RetainedBytes() const {
+    std::size_t bytes = 0;
+    for (const Stripe& stripe : stripes_) {
+      bytes += stripe.pending.capacity() * sizeof(Handoff);
+    }
+    return bytes;
+  }
 
   std::size_t shard_count() const { return stripes_.size(); }
 

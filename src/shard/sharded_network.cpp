@@ -213,6 +213,12 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
     record.shards.resize(shard_count());
     for (ShardId shard = 0; shard < shard_count(); ++shard) {
       ShardSlot& slot = *shards_[shard];
+      // Deterministic per-shard pool footprint at the barrier: calendar
+      // queue + event-slot pool + pooled shuttle shells + route cache.
+      const std::uint64_t pool_bytes = static_cast<std::uint64_t>(
+          slot.simulator.queue_heap_bytes() + slot.simulator.slot_pool_bytes() +
+          slot.network->shuttle_pool().retained_bytes() +
+          slot.topology.route_cache_bytes());
       const telemetry::ShardWindowSample sample{
           .dispatched = results[shard].dispatched,
           .handoffs_out = slot.window_handoffs_out,
@@ -220,7 +226,8 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
           .wall_ns = results[shard].wall_ns,
           .start_ns = results[shard].start_ns,
           .stall_ns = max_wall - results[shard].wall_ns,
-          .queue_depth = static_cast<double>(slot.simulator.queue_depth())};
+          .queue_depth = static_cast<double>(slot.simulator.queue_depth()),
+          .pool_bytes = pool_bytes};
       telemetry::PublishShardWindow(stats_, shard, sample);
       // Each shard's induced topology carries its own route cache; publish
       // its effectiveness under the shard's metric prefix.

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "telemetry/mem_counters.h"
 
 namespace viator::sim {
 
@@ -58,7 +59,7 @@ class CalendarQueue {
     if (HeadActive()) {
       if (e.when == head_when_) {
         // Monotone seq: belongs after every unconsumed batch entry.
-        head_.push_back(e);
+        PushHead(e);
         return;
       }
       if (e.when < head_when_) FlushHead();
@@ -102,6 +103,21 @@ class CalendarQueue {
   std::size_t bucket_count() const { return buckets_.size(); }
   unsigned shift() const { return shift_; }
 
+  /// Heap bytes currently held by the ring and head batch (vector
+  /// capacities, tracked incrementally at every capacity change), and the
+  /// high-water mark of that figure. Deterministic functions of the
+  /// schedule-call sequence: benches pin them, genesis carries the peak.
+  std::size_t heap_bytes() const { return heap_bytes_; }
+  std::size_t peak_heap_bytes() const { return peak_heap_bytes_; }
+
+  /// Genesis restore hook (see ShuttlePool::RestorePeakRetainedBytes): a
+  /// restored queue rebuilds its storage from scratch, so the recorded
+  /// run's high-water mark is re-seeded explicitly. Keeps the current
+  /// figure if the snapshot's peak is older than what restore re-created.
+  void RestorePeakHeapBytes(std::size_t peak) {
+    if (peak > peak_heap_bytes_) peak_heap_bytes_ = peak;
+  }
+
  private:
   static constexpr std::size_t kMinBuckets = 16;
   static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
@@ -112,7 +128,47 @@ class CalendarQueue {
     return static_cast<std::size_t>(when >> shift_) & (buckets_.size() - 1);
   }
 
-  void PushBucket(const QueuedEvent& e) { buckets_[BucketIndex(e.when)].push_back(e); }
+  void PushBucket(const QueuedEvent& e) {
+    auto& bucket = buckets_[BucketIndex(e.when)];
+    const std::size_t before = bucket.capacity();
+    bucket.push_back(e);
+    if (bucket.capacity() != before) {
+      Charge((bucket.capacity() - before) * sizeof(QueuedEvent));
+    }
+  }
+
+  void PushHead(const QueuedEvent& e) {
+    const std::size_t before = head_.capacity();
+    head_.push_back(e);
+    if (head_.capacity() != before) {
+      Charge((head_.capacity() - before) * sizeof(QueuedEvent));
+    }
+  }
+
+  /// Capacity accounting: `heap_bytes_` mirrors the exact heap footprint of
+  /// buckets_ + head_, maintained as a running sum so the hot path never
+  /// walks the ring. Mirrored into the process-wide kCalendarQueue domain.
+  void Charge(std::size_t bytes) {
+    if (bytes == 0) return;
+    heap_bytes_ += bytes;
+    if (heap_bytes_ > peak_heap_bytes_) peak_heap_bytes_ = heap_bytes_;
+    VIATOR_MEM_ALLOC(kCalendarQueue, bytes);
+  }
+  void Release(std::size_t bytes) {
+    if (bytes == 0) return;
+    heap_bytes_ -= bytes;
+    VIATOR_MEM_FREE(kCalendarQueue, bytes);
+  }
+
+  /// Current heap footprint of the bucket ring (outer spine + per-bucket
+  /// stores). Walks every bucket — Rebuild-only, never on the push path.
+  std::size_t BucketBytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(std::vector<QueuedEvent>);
+    for (const auto& bucket : buckets_) {
+      bytes += bucket.capacity() * sizeof(QueuedEvent);
+    }
+    return bytes;
+  }
 
   /// Returns the unconsumed head batch to the ring (a push arrived earlier
   /// than the current batch timestamp).
@@ -173,7 +229,7 @@ class CalendarQueue {
   void ExtractAll(std::vector<QueuedEvent>& bucket, TimePoint target) {
     for (std::size_t i = 0; i < bucket.size();) {
       if (bucket[i].when == target) {
-        head_.push_back(bucket[i]);
+        PushHead(bucket[i]);
         bucket[i] = bucket.back();
         bucket.pop_back();
         --bucketed_;
@@ -215,8 +271,13 @@ class CalendarQueue {
     all.reserve(bucketed_);
     for (auto& bucket : buckets_)
       for (const QueuedEvent& e : bucket) all.push_back(e);
+    // Re-ringing replaces every bucket store: release the old ring's
+    // footprint wholesale, charge the fresh spine, and let PushBucket
+    // account each bucket's regrowth. (`all` is transient scratch.)
+    Release(BucketBytes());
     shift_ = shift;
     buckets_.assign(nbuckets, {});
+    Charge(BucketBytes());
     for (const QueuedEvent& e : all) PushBucket(e);
   }
 
@@ -229,6 +290,8 @@ class CalendarQueue {
   std::vector<QueuedEvent> head_;
   std::size_t head_pos_ = 0;
   TimePoint head_when_ = 0;
+  std::size_t heap_bytes_ = 0;       // exact footprint of buckets_ + head_
+  std::size_t peak_heap_bytes_ = 0;  // high-water mark of heap_bytes_
 };
 
 }  // namespace viator::sim

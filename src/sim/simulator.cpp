@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/stats.h"
+#include "telemetry/mem_counters.h"
 #include "telemetry/perf_counters.h"
 
 namespace viator::sim {
@@ -16,7 +17,14 @@ std::uint32_t Simulator::AllocSlot(Callback fn) {
     slots_[slot].fn = std::move(fn);
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
+    // Structural accounting: the slot array's capacity growth (callback
+    // captures beyond std::function's inline buffer are the caller's).
+    const std::size_t before = slots_.capacity();
     slots_.push_back(EventSlot{std::move(fn), 0, 0});
+    if (slots_.capacity() != before) {
+      VIATOR_MEM_ALLOC(kCalendarQueue,
+                       (slots_.capacity() - before) * sizeof(EventSlot));
+    }
   }
   ++live_events_;
   return slot;

@@ -167,6 +167,25 @@ class Simulator {
   Status RestoreClock(TimePoint now, std::uint64_t dispatched_count,
                       std::uint64_t schedule_ordinal = kKeepScheduleOrdinal);
 
+  /// Memory-observatory accessors (docs/MEMORY.md): current and peak heap
+  /// bytes behind the calendar queue, plus the slot pool's footprint
+  /// (capacity, O(1)). Deterministic — benches pin them, genesis carries
+  /// the queue peak across restore (see RestoreQueuePeakHeapBytes).
+  std::size_t queue_heap_bytes() const { return queue_.heap_bytes(); }
+  std::size_t queue_peak_heap_bytes() const {
+    return queue_.peak_heap_bytes();
+  }
+  std::size_t slot_pool_bytes() const {
+    return slots_.capacity() * sizeof(EventSlot);
+  }
+
+  /// Genesis restore hook: re-seeds the recorded run's calendar-queue
+  /// high-water mark (restore rebuilds the queue storage from scratch, so
+  /// the peak would otherwise reset to whatever restore re-created).
+  void RestoreQueuePeakHeapBytes(std::size_t peak) {
+    queue_.RestorePeakHeapBytes(peak);
+  }
+
  private:
   friend class EventHandle;
 

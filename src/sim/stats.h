@@ -152,8 +152,13 @@ class TimeSeries {
 /// iteration stays lexicographic (export order is unchanged from the old
 /// std::map implementation), and metric addresses are stable, so hot paths
 /// resolve a Counter&/Histogram& once and keep it across registry growth.
+/// Table footprints are attributed to the memory observatory's
+/// kStatsRegistry domain (docs/MEMORY.md).
 class StatsRegistry {
  public:
+  template <typename T>
+  using MetricMap =
+      base::FlatNameMap<T, telemetry::mem::Domain::kStatsRegistry>;
   Counter& GetCounter(std::string_view name) {
     return counters_.GetOrCreate(name);
   }
@@ -178,18 +183,16 @@ class StatsRegistry {
     return series_.Find(name);
   }
 
-  const base::FlatNameMap<Counter>& counters() const { return counters_; }
-  const base::FlatNameMap<Gauge>& gauges() const { return gauges_; }
-  const base::FlatNameMap<Histogram>& histograms() const {
-    return histograms_;
-  }
-  const base::FlatNameMap<TimeSeries>& series() const { return series_; }
+  const MetricMap<Counter>& counters() const { return counters_; }
+  const MetricMap<Gauge>& gauges() const { return gauges_; }
+  const MetricMap<Histogram>& histograms() const { return histograms_; }
+  const MetricMap<TimeSeries>& series() const { return series_; }
 
  private:
-  base::FlatNameMap<Counter> counters_;
-  base::FlatNameMap<Gauge> gauges_;
-  base::FlatNameMap<Histogram> histograms_;
-  base::FlatNameMap<TimeSeries> series_;
+  MetricMap<Counter> counters_;
+  MetricMap<Gauge> gauges_;
+  MetricMap<Histogram> histograms_;
+  MetricMap<TimeSeries> series_;
 };
 
 /// Mean and sample standard deviation of a vector (used when aggregating a

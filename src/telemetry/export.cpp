@@ -261,6 +261,14 @@ void WriteShardTimelineJson(const ShardObservatory& observatory,
             << ",\"pid\":1,\"tid\":" << shard << ",\"args\":{\"window\":"
             << w.window_index << ",\"stall_ns\":" << s.stall_ns << "}}";
       }
+      // Per-shard memory counter track ("ph":"C"): the pool footprint
+      // sampled at this window's barrier, stamped at the shard's window
+      // end so the series steps exactly where the slices do.
+      sep();
+      out << "{\"name\":\"mem.pool_bytes\",\"cat\":\"shard.mem\","
+          << "\"ph\":\"C\",\"ts\":" << emit_ts(base_ns + end_ns)
+          << ",\"pid\":1,\"tid\":" << shard
+          << ",\"args\":{\"bytes\":" << s.pool_bytes << "}}";
     }
     sep();
     out << "{\"name\":\"merge " << w.window_index

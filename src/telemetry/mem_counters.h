@@ -1,0 +1,283 @@
+// Byte-level memory attribution for the allocator-owning layers of the
+// simulation core, the memory twin of telemetry/perf_counters.h: a fixed
+// enum of accounting domains, per-thread counter blocks (no sharing, no
+// atomics on the hot path), and alloc/free probes that cost one predicted
+// branch when the plane is off.
+//
+// Cost contract (docs/MEMORY.md):
+//  - compile-time off (-DVIATOR_MEM_COUNTERS=0): every probe macro expands
+//    to nothing — zero instructions, zero bytes, provably (see
+//    tests/test_mem_compiled_out.cpp);
+//  - runtime off (the default): one relaxed atomic load + predicted branch
+//    per probe;
+//  - runtime on: a handful of additions against this thread's private block.
+//
+// Determinism contract: counter values never feed a simulation decision,
+// never enter snapshots or journals, and never appear in any hash — a
+// counters-on run and a counters-off run of the same seed make bit-identical
+// decisions (ReplayNeutrality, gated by bench_memory). Unlike perf cycles,
+// the *byte* values themselves are deterministic functions of the workload
+// (capacity growth follows the same doubling schedule every run), which is
+// what lets bench/baselines/BENCH_memory.json pin them exactly.
+//
+// Aggregation semantics: live/alloc/free byte sums are order-independent and
+// exact at any thread count (a shuttle pooled on shard A and reacquired on
+// shard B contributes +N on one thread's block and -N on another's; the sum
+// is right even though each block alone may go negative). Summed peaks are
+// an upper bound on the true process-wide peak — exact when one thread does
+// the touching, which is true for every pinned baseline tier.
+//
+// This header is deliberately self-contained (no sim/net/core includes) so
+// the layers below telemetry — base/flat_map.h, sim/calendar_queue.h — can
+// embed probes without inverting the library dependency order: everything is
+// inline or thread_local; the only out-of-line helpers (report formatting,
+// StatsRegistry publication, RSS readers) live in mem_counters.cpp inside
+// viator_telemetry, which only upper layers call.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if !defined(VIATOR_MEM_COUNTERS)
+#define VIATOR_MEM_COUNTERS 1
+#endif
+
+namespace viator::telemetry::mem {
+
+/// The accounted allocation domains. Extend here, name in DomainName(),
+/// probe at the owning allocator — the aggregation, export and report
+/// layers pick new entries up automatically.
+enum class Domain : std::uint8_t {
+  kShuttlePool = 0,  // pooled shuttle shells retained by wli::ShuttlePool
+  kCalendarQueue,    // event-slot pool + calendar bucket heap storage
+  kRouteCache,       // first-hop route cache rows on net::Topology
+  kFlatMap,          // base::FlatMap/FlatNameMap backing stores (routing, ...)
+  kStatsRegistry,    // StatsRegistry metric tables (a FlatNameMap tenant)
+  kJournalRing,      // decision-journal record ring + window-hash log
+  kMailbox,          // striped cross-shard handoff mailboxes
+  kGenesisBuffer,    // snapshot encode/decode scratch buffers
+  kFactsGenome,      // per-node FactStore hash tables
+  kCount,
+};
+
+inline constexpr std::size_t kDomainCount =
+    static_cast<std::size_t>(Domain::kCount);
+
+/// Stable dotted domain name ("mem.shuttle_pool"), the exporters' key.
+const char* DomainName(Domain domain);
+
+/// One domain's accumulated traffic on one thread. `live_bytes` is signed:
+/// a block whose thread frees memory another thread charged goes negative,
+/// and only the cross-thread sum is meaningful.
+struct Counter {
+  std::int64_t live_bytes = 0;
+  std::int64_t peak_bytes = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t free_bytes = 0;
+};
+
+/// Per-thread counter block. Written only by its owning thread; read (and
+/// zeroed) by Registry under its lock, which callers must only do while the
+/// writing threads are quiescent (e.g. at a window barrier) — the executor's
+/// own synchronization then orders the accesses.
+struct ThreadBlock {
+  std::array<Counter, kDomainCount> counters{};
+};
+
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+/// The runtime switch. Off (default): every probe costs one predicted
+/// branch. Flip it before building the world to attribute construction-time
+/// allocations; per-thread counts accumulate until ResetAll().
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+inline void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Owns every thread's block for the lifetime of the process (blocks of
+/// finished threads are retained so their counts stay in the aggregate).
+/// Leaked singleton: probes must stay valid during static destruction.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry;  // intentionally leaked
+    return *instance;
+  }
+
+  /// Creates and adopts the calling thread's block.
+  ThreadBlock* Attach() {
+    auto block = std::make_unique<ThreadBlock>();
+    ThreadBlock* raw = block.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocks_.push_back(std::move(block));
+    return raw;
+  }
+
+  /// Sum of every thread's counters (see the aggregation-semantics note in
+  /// the header comment). Call only while instrumented threads are
+  /// quiescent (see ThreadBlock).
+  std::array<Counter, kDomainCount> Aggregate() const {
+    std::array<Counter, kDomainCount> total{};
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& block : blocks_) {
+      for (std::size_t i = 0; i < kDomainCount; ++i) {
+        const Counter& c = block->counters[i];
+        total[i].live_bytes += c.live_bytes;
+        total[i].peak_bytes += c.peak_bytes;
+        total[i].allocs += c.allocs;
+        total[i].frees += c.frees;
+        total[i].alloc_bytes += c.alloc_bytes;
+        total[i].free_bytes += c.free_bytes;
+      }
+    }
+    return total;
+  }
+
+  /// The scenario reset hook: zeroes every thread's block so successive
+  /// scenarios in one process start from a clean slate instead of
+  /// inheriting the previous run's counts. Same quiescence requirement as
+  /// Aggregate().
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& block : blocks_) block->counters.fill(Counter{});
+  }
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBlock>> blocks_;
+};
+
+inline ThreadBlock& LocalBlock() {
+  thread_local ThreadBlock* block = Registry::Instance().Attach();
+  return *block;
+}
+
+/// Convenience forwarders for the common calls.
+inline std::array<Counter, kDomainCount> Aggregate() {
+  return Registry::Instance().Aggregate();
+}
+inline void ResetAll() { Registry::Instance().ResetAll(); }
+
+/// Charges `bytes` to `domain`: the owning allocator took that much more
+/// heap (a capacity growth, a pooled shell retained, a row filled).
+inline void OnAlloc(Domain domain, std::size_t bytes) {
+  if (!Enabled()) return;
+  Counter& c = LocalBlock().counters[static_cast<std::size_t>(domain)];
+  ++c.allocs;
+  c.alloc_bytes += bytes;
+  c.live_bytes += static_cast<std::int64_t>(bytes);
+  if (c.live_bytes > c.peak_bytes) c.peak_bytes = c.live_bytes;
+}
+
+/// Releases `bytes` from `domain` (a shrink, an eviction, a destructor).
+inline void OnFree(Domain domain, std::size_t bytes) {
+  if (!Enabled()) return;
+  Counter& c = LocalBlock().counters[static_cast<std::size_t>(domain)];
+  ++c.frees;
+  c.free_bytes += bytes;
+  c.live_bytes -= static_cast<std::int64_t>(bytes);
+}
+
+/// Capacity-delta helper for the common "container may have regrown" site:
+/// charges or releases the difference, and is free when nothing changed.
+inline void OnResize(Domain domain, std::size_t old_bytes,
+                     std::size_t new_bytes) {
+  if (new_bytes > old_bytes) {
+    OnAlloc(domain, new_bytes - old_bytes);
+  } else if (old_bytes > new_bytes) {
+    OnFree(domain, old_bytes - new_bytes);
+  }
+}
+
+/// An object-owned running charge against one domain: Add/Sub mirror every
+/// byte into the global counters, the destructor returns the balance, a
+/// copy re-charges its own balance and a move transfers it — so objects
+/// holding one can be copied, moved and destroyed without ever leaking or
+/// double-freeing attributed bytes. Value reads (`value()`) are always-on
+/// and deterministic; only the global mirroring obeys Enabled().
+///
+/// `kMirror` defaults to this translation unit's VIATOR_MEM_COUNTERS value;
+/// baking it into the type keeps -DVIATOR_MEM_COUNTERS=0 units (the
+/// compiled-out test) from violating the ODR against library units built
+/// with probes on — the two configurations instantiate distinct types.
+template <Domain D, bool kMirror = (VIATOR_MEM_COUNTERS != 0)>
+class ChargedBytes {
+ public:
+  ChargedBytes() = default;
+  explicit ChargedBytes(std::size_t bytes) { Add(bytes); }
+  ChargedBytes(const ChargedBytes& other) { Add(other.value_); }
+  ChargedBytes& operator=(const ChargedBytes& other) {
+    if (this != &other) Set(other.value_);
+    return *this;
+  }
+  ChargedBytes(ChargedBytes&& other) noexcept : value_(other.value_) {
+    other.value_ = 0;
+  }
+  ChargedBytes& operator=(ChargedBytes&& other) noexcept {
+    if (this != &other) {
+      Set(0);
+      value_ = other.value_;
+      other.value_ = 0;
+    }
+    return *this;
+  }
+  ~ChargedBytes() { Set(0); }
+
+  void Add(std::size_t bytes) {
+    if constexpr (kMirror) {
+      if (bytes != 0) OnAlloc(D, bytes);
+    }
+    value_ += bytes;
+  }
+  void Sub(std::size_t bytes) {
+    if constexpr (kMirror) {
+      if (bytes != 0) OnFree(D, bytes);
+    }
+    value_ -= bytes;
+  }
+  void Set(std::size_t bytes) {
+    if (bytes > value_) {
+      Add(bytes - value_);
+    } else if (bytes < value_) {
+      Sub(value_ - bytes);
+    }
+  }
+  std::size_t value() const { return value_; }
+
+ private:
+  std::size_t value_ = 0;
+};
+
+}  // namespace viator::telemetry::mem
+
+// The probe macros instrumented code uses. With VIATOR_MEM_COUNTERS=0 they
+// expand to nothing at all — the compiled-out contract. Arguments are only
+// evaluated when the plane is compiled in, so byte expressions must stay
+// side-effect free.
+#if VIATOR_MEM_COUNTERS
+#define VIATOR_MEM_ALLOC(domain, bytes)       \
+  ::viator::telemetry::mem::OnAlloc(          \
+      ::viator::telemetry::mem::Domain::domain, (bytes))
+#define VIATOR_MEM_FREE(domain, bytes)        \
+  ::viator::telemetry::mem::OnFree(           \
+      ::viator::telemetry::mem::Domain::domain, (bytes))
+#define VIATOR_MEM_RESIZE(domain, old_bytes, new_bytes)  \
+  ::viator::telemetry::mem::OnResize(                    \
+      ::viator::telemetry::mem::Domain::domain, (old_bytes), (new_bytes))
+#else
+#define VIATOR_MEM_ALLOC(domain, bytes) ((void)0)
+#define VIATOR_MEM_FREE(domain, bytes) ((void)0)
+#define VIATOR_MEM_RESIZE(domain, old_bytes, new_bytes) ((void)0)
+#endif

@@ -1,0 +1,51 @@
+// Upper-layer helpers over the header-only memory counter core
+// (telemetry/mem_counters.h): publication into a StatsRegistry — which
+// flows through every exporter, Prometheus headers included — a
+// human-readable attribution table, and process-RSS readers for the
+// coverage line. Split from the core header so base/sim can embed probes
+// without linking viator_telemetry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.h"
+#include "telemetry/mem_counters.h"
+
+namespace viator::telemetry {
+
+/// Mirrors a memory aggregate into `stats` as gauges — six per domain:
+/// `mem.<domain>.{live_bytes,peak_bytes,allocs,frees,alloc_bytes,
+/// free_bytes}`. Idempotent (Set, not Add): safe to call after every
+/// window batch.
+void PublishMemStats(sim::StatsRegistry& stats,
+                     const std::array<mem::Counter, mem::kDomainCount>&
+                         aggregate);
+
+/// Convenience form over the live process-wide aggregate. Call only while
+/// instrumented threads are quiescent (see mem::Registry::Aggregate).
+void PublishMemStats(sim::StatsRegistry& stats);
+
+/// Process-level gauges for the coverage line: `proc.rss_bytes` and
+/// `proc.maxrss_bytes`. Split from the readers so golden tests can publish
+/// fixed values.
+void PublishProcStats(sim::StatsRegistry& stats, std::uint64_t rss_bytes,
+                      std::uint64_t maxrss_bytes);
+
+/// Current resident set size from /proc/self/statm (0 where unavailable).
+std::uint64_t ReadRssBytes();
+
+/// Peak resident set size from getrusage(RUSAGE_SELF) (0 where unavailable).
+std::uint64_t ReadMaxRssBytes();
+
+/// Fixed-width attribution table: live, peak, allocs, frees, alloc bytes
+/// per domain plus a total row. Domains with no traffic are omitted. When
+/// `maxrss_bytes` is nonzero a coverage line (total live vs maxrss)
+/// follows the table.
+std::string FormatMemReport(
+    const std::array<mem::Counter, mem::kDomainCount>& aggregate,
+    std::uint64_t maxrss_bytes = 0);
+std::string FormatMemReport();
+
+}  // namespace viator::telemetry

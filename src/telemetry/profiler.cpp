@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "telemetry/mem_stats.h"
 
 namespace viator::telemetry {
 
@@ -95,6 +96,9 @@ void Profiler::PublishStats(sim::StatsRegistry& stats) const {
     stats.GetGauge("profiler.events." + name)
         .Set(static_cast<double>(cost.calls));
   }
+  // Process-level memory gauges ride along with every profiler publication
+  // so dashboards can plot attributed domain bytes against the real RSS.
+  PublishProcStats(stats, ReadRssBytes(), ReadMaxRssBytes());
 }
 
 }  // namespace viator::telemetry

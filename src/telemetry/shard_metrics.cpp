@@ -24,6 +24,8 @@ void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
   stats.GetCounter(ShardMetricName(shard, "wall_ns")).Add(sample.wall_ns);
   stats.GetCounter(ShardMetricName(shard, "stall_ns")).Add(sample.stall_ns);
   stats.GetGauge(ShardMetricName(shard, "queue_depth")).Set(sample.queue_depth);
+  stats.GetGauge(ShardMetricName(shard, "pool_bytes"))
+      .Set(static_cast<double>(sample.pool_bytes));
 }
 
 ShardObservatory::ShardObservatory(std::size_t shard_count,

@@ -44,13 +44,19 @@ struct ShardWindowSample {
   std::uint64_t stall_ns = 0;
   /// Event-queue occupancy after the window ran.
   double queue_depth = 0.0;
+  /// Heap bytes held by the shard's pools after the window ran (calendar
+  /// queue + event slots + shuttle pool + route cache). Deterministic —
+  /// unlike the wall fields, byte series are pinned by benches and drawn
+  /// as Perfetto counter tracks.
+  std::uint64_t pool_bytes = 0;
 };
 
 /// "shard.<id>.<metric>" (the dotted form exporters sanitize themselves).
 std::string ShardMetricName(std::uint32_t shard, std::string_view metric);
 
 /// Adds the sample into `stats`: counters shard.<id>.{dispatched,
-/// handoffs_out, handoffs_in, wall_ns, stall_ns}, gauge shard.<id>.queue_depth.
+/// handoffs_out, handoffs_in, wall_ns, stall_ns}, gauges
+/// shard.<id>.queue_depth and shard.<id>.pool_bytes.
 void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
                         const ShardWindowSample& sample);
 

@@ -111,6 +111,11 @@ TEST(GenesisResume, SnapshotRestoreContinuesBitIdentically) {
   ASSERT_TRUE(res_parsed.ok());
   ASSERT_EQ(ref_parsed->sections.size(), res_parsed->sections.size());
   for (std::size_t i = 0; i < ref_parsed->sections.size(); ++i) {
+    // Every decision-state section must match bit for bit. mem-peaks is the
+    // one advisory section: shuttle pools restore empty by design (shells
+    // are recycled capacity, not state), so the resumed run's retained-byte
+    // watermark lawfully trails the uninterrupted run's.
+    if (ref_parsed->sections[i].id == genesis::kSectionMemPeaks) continue;
     EXPECT_EQ(ref_parsed->sections[i].digest, res_parsed->sections[i].digest)
         << "section " << genesis::SectionName(ref_parsed->sections[i].id)
         << " diverged after resume";
@@ -198,6 +203,30 @@ TEST(GenesisResume, RestoredCountersAndStateMatchSource) {
     EXPECT_EQ(b->os().current_role(), a->os().current_role());
     EXPECT_EQ(b->facts().AllFacts().size(), a->facts().AllFacts().size());
   }
+}
+
+TEST(GenesisResume, MemoryPeaksSurviveSnapshotRestore) {
+  // The Memory Observatory's deterministic high-water marks — calendar-queue
+  // heap peak and shuttle-pool retained peak — ride the clock and
+  // network-counter sections as optional tags, so a restored world reports
+  // the same peaks the interrupted one reached (old snapshots without the
+  // tags keep the fresh world's own peaks).
+  Replica source;
+  Drive(source, 0, 40);
+  const std::size_t pool_peak =
+      source.network->shuttle_pool().peak_retained_bytes();
+  const std::size_t queue_peak = source.simulator.queue_peak_heap_bytes();
+  EXPECT_GT(queue_peak, 0u);
+  EXPECT_GT(pool_peak, 0u);
+  genesis::GenesisManager manager(*source.network);
+  auto snapshot = manager.CaptureFull();
+  ASSERT_TRUE(snapshot.ok());
+
+  Replica restored = Replica(Replica::Mode::kFresh);
+  genesis::GenesisManager target(*restored.network);
+  ASSERT_TRUE(target.RestoreFull(*snapshot).ok());
+  EXPECT_EQ(restored.network->shuttle_pool().peak_retained_bytes(), pool_peak);
+  EXPECT_EQ(restored.simulator.queue_peak_heap_bytes(), queue_peak);
 }
 
 // ---- Delta snapshots --------------------------------------------------------

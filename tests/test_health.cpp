@@ -13,6 +13,7 @@
 #include "genesis/adapters.h"
 #include "genesis/manager.h"
 #include "health/health.h"
+#include "health/mem_growth.h"
 #include "health/probe.h"
 #include "health/report.h"
 #include "net/failure.h"
@@ -446,6 +447,96 @@ TEST(HealthReport, DiffFlagsScoreDropsVanishedShipsAndNewEvents) {
   regressions = health::DiffHealthReports(baseline, current, {});
   ASSERT_EQ(regressions.size(), 1u);
   EXPECT_NE(regressions[0].find("disappeared"), std::string::npos);
+}
+
+// ---- MemGrowthDetector ------------------------------------------------------
+
+TEST(MemGrowth, MonotoneGrowthPastSlackRaisesOneEpisode) {
+  health::MemGrowthConfig config;
+  config.consecutive_windows = 3;
+  config.slack_bytes = 1000;
+  health::MemGrowthDetector detector(config);
+  const auto domain = telemetry::mem::Domain::kShuttlePool;
+
+  // First sample seeds; two growing windows are below the streak threshold.
+  EXPECT_FALSE(detector.Observe(domain, 100, 1).has_value());
+  EXPECT_FALSE(detector.Observe(domain, 600, 2).has_value());
+  EXPECT_FALSE(detector.Observe(domain, 1000, 3).has_value());
+  // Third growing window, net growth 1400 > slack: one event, tagged with
+  // the domain index and the mem_growth kind.
+  const auto event = detector.Observe(domain, 1500, 4);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, health::HealthEventKind::kMemGrowth);
+  EXPECT_EQ(event->ship, static_cast<net::NodeId>(domain));
+  EXPECT_DOUBLE_EQ(event->value, 1400.0);
+  EXPECT_DOUBLE_EQ(event->threshold, 1000.0);
+  EXPECT_NE(event->detail.find("mem.shuttle_pool"), std::string::npos);
+
+  // Continued growth inside the same episode stays deduplicated.
+  EXPECT_FALSE(detector.Observe(domain, 2000, 5).has_value());
+  EXPECT_FALSE(detector.Observe(domain, 2500, 6).has_value());
+  EXPECT_EQ(detector.events().size(), 1u);
+
+  // A shrink ends the episode; a fresh monotone run re-raises.
+  EXPECT_FALSE(detector.Observe(domain, 500, 7).has_value());
+  EXPECT_FALSE(detector.Observe(domain, 1000, 8).has_value());
+  EXPECT_FALSE(detector.Observe(domain, 1500, 9).has_value());
+  EXPECT_TRUE(detector.Observe(domain, 2000, 10).has_value());
+  EXPECT_EQ(detector.events().size(), 2u);
+}
+
+TEST(MemGrowth, SlackAbsorbsSteadyStateWobbleAndFlatSeries) {
+  health::MemGrowthConfig config;
+  config.consecutive_windows = 2;
+  config.slack_bytes = 1 << 20;
+  health::MemGrowthDetector detector(config);
+  const auto domain = telemetry::mem::Domain::kCalendarQueue;
+  // Growing every window but never beyond the slack: silent.
+  std::uint64_t bytes = 0;
+  for (sim::TimePoint t = 1; t <= 64; ++t) {
+    bytes += 64;
+    EXPECT_FALSE(detector.Observe(domain, bytes, t).has_value());
+  }
+  // Flat series: silent, and it resets the growth run.
+  for (sim::TimePoint t = 65; t <= 80; ++t) {
+    EXPECT_FALSE(detector.Observe(domain, bytes, t).has_value());
+  }
+  EXPECT_TRUE(detector.events().empty());
+}
+
+TEST(MemGrowth, ObserveBlockSweepsEveryDomain) {
+  health::MemGrowthConfig config;
+  config.consecutive_windows = 2;
+  config.slack_bytes = 100;
+  health::MemGrowthDetector detector(config);
+  telemetry::mem::ThreadBlock block{};
+  auto& shuttle = block.counters[static_cast<std::size_t>(
+      telemetry::mem::Domain::kShuttlePool)];
+  auto& mailbox = block.counters[static_cast<std::size_t>(
+      telemetry::mem::Domain::kMailbox)];
+  for (int window = 0; window < 3; ++window) {
+    shuttle.live_bytes += 4096;
+    mailbox.live_bytes += 2048;
+    const auto fresh = detector.ObserveBlock(block, window + 1);
+    if (window < 2) {
+      EXPECT_TRUE(fresh.empty());
+    } else {
+      // Both domains cross streak + slack on the same sweep.
+      ASSERT_EQ(fresh.size(), 2u);
+      EXPECT_EQ(fresh[0].ship, static_cast<net::NodeId>(
+                                   telemetry::mem::Domain::kShuttlePool));
+      EXPECT_EQ(fresh[1].ship,
+                static_cast<net::NodeId>(telemetry::mem::Domain::kMailbox));
+    }
+  }
+}
+
+TEST(MemGrowth, KindNameRoundTrips) {
+  EXPECT_EQ(health::HealthEventKindName(health::HealthEventKind::kMemGrowth),
+            "mem_growth");
+  const auto kind = health::HealthEventKindFromName("mem_growth");
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, health::HealthEventKind::kMemGrowth);
 }
 
 TEST(BenchGate, ComparesMetricsWithToleranceAndIgnores) {

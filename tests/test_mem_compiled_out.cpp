@@ -1,0 +1,60 @@
+// The compiled-out half of the memory-counter cost contract
+// (docs/MEMORY.md): this translation unit is built with
+// -DVIATOR_MEM_COUNTERS=0 (see tests/CMakeLists.txt), so the probe macros
+// must expand to nothing at all — no probe can fire even with the runtime
+// switch forced on, the macros must still parse everywhere a statement can
+// appear, and ChargedBytes must keep its deterministic local balance while
+// mirroring nothing into the global registry.
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/mem_counters.h"
+
+#if VIATOR_MEM_COUNTERS
+#error "this test must be compiled with -DVIATOR_MEM_COUNTERS=0"
+#endif
+
+namespace viator {
+namespace {
+
+std::size_t InstrumentedWork(std::size_t n) {
+  VIATOR_MEM_ALLOC(kShuttlePool, n * 64);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    VIATOR_MEM_RESIZE(kCalendarQueue, i, i + 1);
+    acc += i * 2654435761u;
+  }
+  if (n > 0) VIATOR_MEM_FREE(kShuttlePool, n * 64);  // statement position
+  return acc;
+}
+
+TEST(MemCompiledOut, NoProbeFiresEvenWithRuntimeSwitchOn) {
+  telemetry::mem::ResetAll();
+  telemetry::mem::SetEnabled(true);
+  EXPECT_NE(InstrumentedWork(1000), 0u);
+
+  // ChargedBytes keeps its instance balance (the deterministic accessors
+  // the shard timeline and genesis sections read) but never touches the
+  // global counters in this build.
+  {
+    telemetry::mem::ChargedBytes<telemetry::mem::Domain::kRouteCache> charge;
+    charge.Add(4096);
+    EXPECT_EQ(charge.value(), 4096u);
+    charge.Set(1024);
+    EXPECT_EQ(charge.value(), 1024u);
+  }
+  telemetry::mem::SetEnabled(false);
+
+  const auto aggregate = telemetry::mem::Aggregate();
+  for (std::size_t i = 0; i < telemetry::mem::kDomainCount; ++i) {
+    EXPECT_EQ(aggregate[i].allocs, 0u) << telemetry::mem::DomainName(
+        static_cast<telemetry::mem::Domain>(i));
+    EXPECT_EQ(aggregate[i].frees, 0u);
+    EXPECT_EQ(aggregate[i].live_bytes, 0);
+    EXPECT_EQ(aggregate[i].peak_bytes, 0);
+  }
+}
+
+}  // namespace
+}  // namespace viator

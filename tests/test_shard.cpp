@@ -4,6 +4,7 @@
 // threads makes bit-identical decisions to the same world stepped with 1,
 // certified by the Flight Recorder (identical per-window hash timelines and
 // a clean DivergenceAuditor diff).
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -23,6 +24,7 @@
 #include "shard/plan.h"
 #include "shard/sharded_network.h"
 #include "telemetry/export.h"
+#include "telemetry/mem_stats.h"
 #include "telemetry/perf_counters.h"
 #include "telemetry/shard_metrics.h"
 
@@ -425,15 +427,31 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
                                  .handoffs_in = 1,
                                  .wall_ns = 1200,
                                  .stall_ns = 450,
-                                 .queue_depth = 7.0});
+                                 .queue_depth = 7.0,
+                                 .pool_bytes = 4096});
   telemetry::PublishShardWindow(stats, 1,
                                 {.dispatched = 5,
                                  .handoffs_out = 1,
                                  .handoffs_in = 3,
                                  .wall_ns = 1650,
                                  .stall_ns = 0,
-                                 .queue_depth = 2.0});
+                                 .queue_depth = 2.0,
+                                 .pool_bytes = 2048});
   stats.GetCounter("shard.windows").Add(2);
+  // Memory-plane gauges under the same exporter: one domain with synthetic
+  // traffic (the other domains pin their zero rows), plus fixed proc.*
+  // values — the scrape-name contract for the Memory Observatory.
+  std::array<telemetry::mem::Counter, telemetry::mem::kDomainCount> mem{};
+  mem[static_cast<std::size_t>(telemetry::mem::Domain::kShuttlePool)] = {
+      .live_bytes = 1536,
+      .peak_bytes = 2560,
+      .allocs = 4,
+      .frees = 2,
+      .alloc_bytes = 3072,
+      .free_bytes = 1536};
+  telemetry::PublishMemStats(stats, mem);
+  telemetry::PublishProcStats(stats, /*rss_bytes=*/8 << 20,
+                              /*maxrss_bytes=*/16 << 20);
   // Route-cache gauges ride the same exporter under the shard prefix. A
   // 4-node line probed twice from node 0 is one fill then one hit —
   // deterministic values forever.
@@ -448,6 +466,59 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
   std::ifstream golden(std::string(VIATOR_GOLDEN_DIR) +
                        "/shard_prometheus.txt");
   ASSERT_TRUE(golden.is_open()) << "missing tests/golden/shard_prometheus.txt";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(out.str(), expected.str());
+}
+
+TEST(ShardTimeline, PerfettoExportMatchesGoldenFile) {
+  // The Perfetto trace_event shape — thread-name metadata, window/barrier
+  // slices, per-shard mem.pool_bytes counter tracks ("ph":"C") — is contract
+  // output (ui.perfetto.dev and scripts parse it), so it is pinned to a
+  // committed golden built from hand-authored deterministic records.
+  telemetry::ShardObservatory observatory(2);
+  telemetry::ShardWindowRecord w0;
+  w0.window_index = 0;
+  w0.virtual_start = 0;
+  w0.virtual_end = 1000;
+  w0.merge_wall_ns = 300;
+  w0.merge_handoffs = 2;
+  w0.shards = {{.dispatched = 12,
+                .handoffs_out = 2,
+                .handoffs_in = 0,
+                .wall_ns = 1500,
+                .start_ns = 100,
+                .stall_ns = 0,
+                .queue_depth = 3.0,
+                .pool_bytes = 4096},
+               {.dispatched = 4,
+                .handoffs_out = 0,
+                .handoffs_in = 2,
+                .wall_ns = 700,
+                .start_ns = 200,
+                .stall_ns = 700,
+                .queue_depth = 1.0,
+                .pool_bytes = 2048}};
+  observatory.RecordWindow(w0);
+  telemetry::ShardWindowRecord w1;
+  w1.window_index = 1;
+  w1.virtual_start = 1000;
+  w1.virtual_end = 2000;
+  w1.merge_wall_ns = 250;
+  w1.merge_handoffs = 0;
+  w1.shards = {{.dispatched = 6,
+                .wall_ns = 900,
+                .stall_ns = 100,
+                .pool_bytes = 4096},
+               {.dispatched = 8, .wall_ns = 1000, .pool_bytes = 6144}};
+  observatory.RecordWindow(w1);
+
+  std::ostringstream out;
+  telemetry::WriteShardTimelineJson(observatory, out);
+
+  std::ifstream golden(std::string(VIATOR_GOLDEN_DIR) +
+                       "/shard_timeline.json");
+  ASSERT_TRUE(golden.is_open()) << "missing tests/golden/shard_timeline.json";
   std::stringstream expected;
   expected << golden.rdbuf();
   EXPECT_EQ(out.str(), expected.str());

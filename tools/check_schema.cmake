@@ -1,0 +1,24 @@
+# check_schema.cmake — assert a JSON/text artifact carries every required
+# key. Values are deliberately NOT pinned (host-varying metrics live next to
+# deterministic ones); this guards the *schema* a downstream consumer keys
+# on. Usage:
+#   cmake -DFILE=<artifact> "-DKEYS=<key;key;...>" -P check_schema.cmake
+if(NOT DEFINED FILE OR NOT DEFINED KEYS)
+  message(FATAL_ERROR "check_schema.cmake needs -DFILE and -DKEYS")
+endif()
+if(NOT EXISTS "${FILE}")
+  message(FATAL_ERROR "schema check: ${FILE} does not exist")
+endif()
+file(READ "${FILE}" contents)
+set(missing "")
+foreach(key IN LISTS KEYS)
+  string(FIND "${contents}" "\"${key}\"" at)
+  if(at EQUAL -1)
+    list(APPEND missing "${key}")
+  endif()
+endforeach()
+if(missing)
+  message(FATAL_ERROR "schema check: ${FILE} is missing keys: ${missing}")
+endif()
+list(LENGTH KEYS count)
+message(STATUS "schema check: ${count} keys present in ${FILE}")

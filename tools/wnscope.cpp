@@ -14,9 +14,15 @@
 //   wnscope timeline <out-dir>           run a seeded sharded workload with
 //                                        the perf plane on, write a Perfetto
 //                                        parallel timeline (timeline.json,
-//                                        one track per shard + merge),
+//                                        one track per shard + merge, plus
+//                                        per-shard memory counter tracks),
 //                                        shard_metrics.prom, and print the
 //                                        straggler + cycle reports
+//   wnscope mem     <out-dir>            run a seeded sharded workload with
+//                                        the memory plane on, write mem.prom
+//                                        and mem.txt, and print the
+//                                        per-domain attribution table with a
+//                                        coverage line against maxrss
 //
 // Span files may be either the native JSONL or the Chrome trace_event JSON
 // that `record` writes; both parse back identically.
@@ -39,6 +45,7 @@
 #include "shard/sharded_network.h"
 #include "sim/simulator.h"
 #include "telemetry/export.h"
+#include "telemetry/mem_stats.h"
 #include "telemetry/perf_stats.h"
 
 namespace {
@@ -51,7 +58,8 @@ int Usage() {
                "       wnscope filter  <spans-file> <key=value>...\n"
                "       wnscope tree    <spans-file> [trace-hex]\n"
                "       wnscope diff    <metrics-a> <metrics-b>\n"
-               "       wnscope timeline <out-dir>\n";
+               "       wnscope timeline <out-dir>\n"
+               "       wnscope mem     <out-dir>\n";
   return 2;
 }
 
@@ -185,6 +193,58 @@ int RunTimeline(const std::string& out_dir) {
   return 0;
 }
 
+/// Seeded single-threaded sharded demo with the memory plane enabled before
+/// the world is built (construction-time pool growth is attributed too).
+/// Single-threaded so the summed per-thread peaks are the exact peaks.
+int RunMem(const std::string& out_dir) {
+  constexpr std::uint64_t kSeed = 616161;
+  telemetry::mem::ResetAll();
+  telemetry::mem::SetEnabled(true);
+
+  net::Topology global = net::MakeGrid(12, 12);
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = 1;
+  config.seed = kSeed;
+  config.assignment = shard::GridRowBands(12, 12, 4);
+  int rc = 0;
+  {
+    shard::ShardedNetwork world(global, config);
+    Rng traffic(kSeed ^ 0x5eed);
+    for (int round = 0; round < 16; ++round) {
+      for (int i = 0; i < 48; ++i) {
+        const auto src = static_cast<net::NodeId>(traffic.UniformInt(0, 143));
+        auto dst = static_cast<net::NodeId>(traffic.UniformInt(0, 143));
+        if (dst == src) dst = static_cast<net::NodeId>((dst + 1) % 144);
+        (void)world.Inject(src, dst, {round, i}, round * 100 + i + 1);
+      }
+      world.RunWindows(4);
+    }
+    world.RunUntilQuiescent();
+
+    const auto aggregate = telemetry::mem::Aggregate();
+    const std::uint64_t maxrss = telemetry::ReadMaxRssBytes();
+    telemetry::PublishMemStats(world.stats(), aggregate);
+    telemetry::PublishProcStats(world.stats(), telemetry::ReadRssBytes(),
+                                maxrss);
+    std::ofstream prom_out(out_dir + "/mem.prom");
+    std::ofstream report_out(out_dir + "/mem.txt");
+    if (!prom_out || !report_out) {
+      std::cerr << "wnscope: cannot write into " << out_dir << "\n";
+      rc = 1;
+    } else {
+      telemetry::WritePrometheusText(world.stats(), prom_out);
+      const std::string report = telemetry::FormatMemReport(aggregate, maxrss);
+      report_out << report;
+      std::cout << report << "wrote " << out_dir << "/mem.prom and "
+                << out_dir << "/mem.txt\n";
+    }
+  }
+  telemetry::mem::SetEnabled(false);
+  telemetry::mem::ResetAll();
+  return rc;
+}
+
 int RunInspect(const std::string& path) {
   std::vector<telemetry::SpanRecord> spans;
   if (!LoadSpans(path, spans)) return 1;
@@ -309,6 +369,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "record") return RunRecord(argv[2]);
   if (cmd == "timeline") return RunTimeline(argv[2]);
+  if (cmd == "mem") return RunMem(argv[2]);
   if (cmd == "inspect") return RunInspect(argv[2]);
   if (cmd == "filter") {
     return RunFilter(argv[2],
