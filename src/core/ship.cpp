@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/wandering_network.h"
+#include "telemetry/latency_plane.h"
 #include "telemetry/telemetry.h"
 #include "vm/assembler.h"
 
@@ -38,6 +39,10 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
   // probe plane before TTL accounting, per-message feedback, counters or
   // consumption, so a probed ship behaves exactly like an unprobed one.
   if (shuttle.header.kind == ShuttleKind::kProbe) [[unlikely]] {
+    // A probe's first waypoint closes its delivery clock (injection → first
+    // intercept); the itinerary's later hops re-close as no-ops.
+    VIATOR_LAT_DELIVERED(&network_.lat_lane(), shuttle,
+                         network_.simulator().now());
     network_.HandleProbe(*this, std::move(shuttle), arrived_from);
     return;
   }
@@ -47,6 +52,8 @@ void Ship::Receive(Shuttle shuttle, net::NodeId arrived_from) {
     // every forwarded message.
     if (shuttle.header.ttl == 0) {
       network_.stats().GetCounter("wn.ttl_expired").Add();
+      VIATOR_LAT_DROP(&network_.lat_lane(), shuttle,
+                      network_.simulator().now());
       network_.shuttle_pool().Release(std::move(shuttle));
       return;
     }
@@ -87,9 +94,14 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
   telemetry::SpanScope span(network_.telemetry(), docked.trace, id_, "ship",
                             "consume");
   docked.trace = span.context();
+  // Exec stage opens at consumption entry: for shuttles that park awaiting
+  // a code fetch, OnExecDone later measures the whole fetch wait.
+  VIATOR_LAT_EXEC_ENTER(&network_.lat_lane(), docked,
+                        network_.simulator().now());
   const MorphOutcome morph = network_.morphing().MorphForDock(docked);
   if (!morph.success) {
     network_.stats().GetCounter("wn.dock_rejected").Add();
+    VIATOR_LAT_DROP(&network_.lat_lane(), docked, network_.simulator().now());
     return;
   }
   if (!morph.already_matched) {
@@ -122,6 +134,9 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
             }
           } else {
             network_.stats().GetCounter("wn.pending_overflow").Add();
+            // No pending slot: the shuttle is discarded, not parked.
+            VIATOR_LAT_DROP(&network_.lat_lane(), docked,
+                            network_.simulator().now());
           }
           return;  // sink runs when the parked shuttle finally executes
         }
@@ -162,6 +177,10 @@ void Ship::Consume(const Shuttle& shuttle, net::NodeId arrived_from) {
       break;
   }
 
+  // End-to-end delivery closes here (parked shuttles close later, in
+  // ReleaseWaiters, so their delivery time includes the code-fetch wait).
+  VIATOR_LAT_DELIVERED(&network_.lat_lane(), docked,
+                       network_.simulator().now());
   if (delivery_sink_) delivery_sink_(*this, docked);
   (void)arrived_from;
 }
@@ -178,6 +197,9 @@ void Ship::ExecuteShuttleCode(const Shuttle& shuttle,
   auto result = ee.Execute(program, *this, os_.resources());
   current_shuttle_ = nullptr;
   ++code_executions_;
+  VIATOR_LAT_EXEC_DONE(
+      &network_.lat_lane(), shuttle, network_.simulator().now(),
+      static_cast<std::uint8_t>(os_.current_role()));
   class_activity_[static_cast<int>(ee.function_class())] += 1.0;
   if (!result.ok()) {
     network_.stats().GetCounter("wn.exec_rejected").Add();
@@ -283,7 +305,12 @@ void Ship::ReleaseWaiters(Digest digest) {
     os_.resources().ReleasePendingSlot();
     if (program != nullptr) {
       ExecuteShuttleCode(shuttle, *program);
+      VIATOR_LAT_DELIVERED(&network_.lat_lane(), shuttle,
+                           network_.simulator().now());
       if (delivery_sink_) delivery_sink_(*this, shuttle);
+    } else {
+      VIATOR_LAT_DROP(&network_.lat_lane(), shuttle,
+                      network_.simulator().now());
     }
   }
 }

@@ -88,6 +88,16 @@ struct Shuttle {
   /// WireSize(), so tracing never changes transport behavior.
   telemetry::TraceContext trace;
 
+  /// Latency-plane flight id (telemetry/latency_plane.h): keys this
+  /// shuttle's lifecycle record in the network's side table. 0 = untracked
+  /// (the plane is off, or birth not yet probed). Like `trace`, pure
+  /// observability metadata: not part of WireSize(), never read by any
+  /// simulation decision, and NOT deterministic across thread counts (ids
+  /// come from a global counter) — only the sim-time durations it keys are.
+  /// Copies of a shuttle (jet replication, broadcast fan-out) share the id;
+  /// the first lifecycle close wins and later closes are no-ops.
+  std::uint64_t lat_id = 0;
+
   /// Wire size used for transmission accounting: fixed header plus the
   /// variable sections.
   std::uint32_t WireSize() const;

@@ -76,6 +76,7 @@ class ShuttlePool {
     s.auth_tag = 0;
     s.transit_destination = net::kInvalidNode;
     s.trace = telemetry::TraceContext{};
+    s.lat_id = 0;
     const std::size_t bytes = ShellBytes(s);
     retained_bytes_ += bytes;
     if (retained_bytes_ > peak_retained_bytes_) {

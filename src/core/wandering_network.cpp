@@ -6,6 +6,15 @@
 
 namespace viator::wli {
 
+// The latency plane (self-contained below core) mirrors these enums as
+// plain byte dimensions; keep its tables in lock step with the real ones.
+static_assert(telemetry::lat::kClassCount ==
+                  static_cast<std::size_t>(ShuttleKind::kKindCount),
+              "lat::kClassCount must mirror ShuttleKind");
+static_assert(telemetry::lat::kRoleCount ==
+                  static_cast<std::size_t>(node::FirstLevelRole::kRoleCount),
+              "lat::kRoleCount must mirror node::FirstLevelRole");
+
 WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
                                    net::Topology& topology,
                                    const WnConfig& config, std::uint64_t seed)
@@ -30,6 +39,9 @@ WanderingNetwork::WanderingNetwork(sim::Simulator& simulator,
   // Past-time schedules are clamped silently by the simulator; surface the
   // count as a regular metric so exports and gates can watch it.
   simulator_.BindClampCounter(&stats_.GetCounter("sim.clamped_events"));
+  // Per-hop queue/transit stages and in-fabric losses attribute to this
+  // network's lane.
+  fabric_.BindLatencyLane(&lat_lane_);
 }
 
 Ship& WanderingNetwork::AddShip(net::NodeId node, node::ShipClass ship_class) {
@@ -103,6 +115,9 @@ Status WanderingNetwork::Inject(Shuttle shuttle) {
   }
   telemetry::SpanScope span(telemetry_, shuttle.trace, src, "wn", "inject");
   shuttle.trace = span.context();
+  // Lifecycle birth: injection is where the end-to-end delivery clock
+  // starts (self-deliveries included; Receive closes them immediately).
+  VIATOR_LAT_BIRTH(&lat_lane_, shuttle, simulator_.now());
   if (shuttle.header.destination == src) {
     ships_[src]->Receive(std::move(shuttle), src);
     return OkStatus();
@@ -114,6 +129,9 @@ Status WanderingNetwork::Inject(Shuttle shuttle) {
 Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   const net::NodeId dst = shuttle.header.destination;
   const bool probe = shuttle.header.kind == ShuttleKind::kProbe;
+  // Births not seen by Inject (ship-originated replies, jets, migrations)
+  // start their clock here; re-dispatched flights (lat_id set) are no-ops.
+  VIATOR_LAT_BIRTH(&lat_lane_, shuttle, simulator_.now());
   if (dst == at) {
     if (ships_[at]) ships_[at]->Receive(std::move(shuttle), at);
     return OkStatus();
@@ -122,6 +140,7 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   // exempt — the health plane must keep observing excluded ships too.
   if (!probe && reputation_.IsExcluded(shuttle.header.source)) {
     excluded_dropped_.Add();
+    VIATOR_LAT_DROP(&lat_lane_, shuttle, simulator_.now());
     shuttle_pool_.Release(std::move(shuttle));
     return PermissionDenied("source ship excluded from community");
   }
@@ -145,6 +164,7 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   }
   if (next == net::kInvalidNode) {
     unroutable_.Add();
+    VIATOR_LAT_DROP(&lat_lane_, shuttle, simulator_.now());
     shuttle_pool_.Release(std::move(shuttle));
     return NotFound("no route to destination");
   }
@@ -153,6 +173,11 @@ Status WanderingNetwork::Dispatch(net::NodeId at, Shuttle shuttle) {
   frame.to = next;
   frame.size_bytes = shuttle.WireSize();
   frame.telemetry = probe;
+  // Mirror the attribution keys onto the frame so the fabric can class
+  // queue/hop stages and close the flight on in-fabric loss without
+  // looking inside the payload.
+  frame.lat_class = static_cast<std::uint8_t>(shuttle.header.kind);
+  frame.lat_id = shuttle.lat_id;
   frame.payload = std::move(shuttle);
   return fabric_.Send(std::move(frame));
 }

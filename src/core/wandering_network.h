@@ -36,6 +36,7 @@
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "telemetry/latency_plane.h"
 #include "telemetry/telemetry.h"
 #include "vm/code_repository.h"
 
@@ -219,6 +220,12 @@ class WanderingNetwork {
   const ShuttlePool& shuttle_pool() const { return shuttle_pool_; }
   Rng& rng() { return rng_; }
   const Rng& rng() const { return rng_; }
+  /// Latency-plane state for this network: lifecycle sketches and the
+  /// in-flight side table (telemetry/latency_plane.h). Single-writer: only
+  /// the thread currently running this network (shard worker in a window,
+  /// barrier thread between windows) may touch it.
+  telemetry::lat::Lane& lat_lane() { return lat_lane_; }
+  const telemetry::lat::Lane& lat_lane() const { return lat_lane_; }
   FunctionId NextFunctionId() { return next_function_id_++; }
   FunctionId next_function_id() const { return next_function_id_; }
 
@@ -267,6 +274,7 @@ class WanderingNetwork {
   sim::StatsRegistry stats_;
   sim::TraceSink trace_;
   telemetry::Telemetry telemetry_;
+  telemetry::lat::Lane lat_lane_;
   net::Fabric fabric_;
   // Per-dispatch counters resolved once — Dispatch() is the hottest path in
   // the system and registry name lookups would tax every shuttle hop.

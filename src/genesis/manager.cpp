@@ -62,6 +62,7 @@ std::vector<GenesisManager::BuiltSection> GenesisManager::BuildSections() {
   add(kSectionStats, SaveStats(network_.stats()));
   add(kSectionTrace, SaveTrace(network_.trace()));
   add(kSectionMemPeaks, SaveMemPeaks(network_));
+  add(kSectionLatency, SaveLatency(network_));
   for (const Snapshotable* extra : extras_) {
     sections.push_back(
         BuiltSection{extra->section_id(), extra->section_version(),
@@ -184,6 +185,7 @@ Status GenesisManager::RestoreFull(std::span<const std::byte> bytes) {
       // Last on purpose: by now every pending event has been rescheduled,
       // so the monotone queue-peak restore sits on top of the rebuild.
       {kSectionMemPeaks, &LoadMemPeaks},
+      {kSectionLatency, &LoadLatency},
   };
   for (const Step& step : kSteps) {
     const SectionRecord* section = snap.Find(step.id);

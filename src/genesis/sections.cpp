@@ -1600,4 +1600,126 @@ Status LoadMemPeaks(std::span<const std::byte> payload,
   return OkStatus();
 }
 
+// ---- Latency Observatory ---------------------------------------------------
+
+namespace {
+// One kTagLatSketch nested record per non-empty sketch; the window delivery
+// sketch rides under its own tag so a mid-window capture still round-trips.
+constexpr TlvTag kTagLatSketch = 0x01;
+constexpr TlvTag kTagLatWindowSketch = 0x02;
+// inner
+constexpr TlvTag kTagLatStage = 0x01;
+constexpr TlvTag kTagLatIndex = 0x02;
+constexpr TlvTag kTagLatCount = 0x03;
+constexpr TlvTag kTagLatSum = 0x04;
+// Sparse bucket pairs: an index immediately followed by its occupancy.
+constexpr TlvTag kTagLatBucketIdx = 0x05;
+constexpr TlvTag kTagLatBucketN = 0x06;
+
+std::vector<std::byte> EncodeLatSketch(
+    const telemetry::lat::LatencySketch& sketch, std::uint32_t stage,
+    std::uint32_t index) {
+  TlvWriter inner;
+  inner.PutU32(kTagLatStage, stage);
+  inner.PutU32(kTagLatIndex, index);
+  inner.PutU64(kTagLatCount, sketch.count());
+  inner.PutU64(kTagLatSum, sketch.sum());
+  const auto& buckets = sketch.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    inner.PutU32(kTagLatBucketIdx, static_cast<std::uint32_t>(i));
+    inner.PutU64(kTagLatBucketN, buckets[i]);
+  }
+  return inner.Finish();
+}
+
+Status DecodeLatSketch(std::span<const std::byte> payload,
+                       telemetry::lat::LatencySketch& sketch,
+                       std::uint32_t& stage, std::uint32_t& index) {
+  TlvReader inner(payload);
+  sketch.Reset();
+  std::uint64_t count = 0, sum = 0;
+  std::optional<std::uint32_t> pending_idx;
+  while (inner.HasNext()) {
+    auto f = inner.Next();
+    if (!f.ok()) return f.status();
+    switch (f->tag) {
+      case kTagLatStage: stage = f->AsU32(); break;
+      case kTagLatIndex: index = f->AsU32(); break;
+      case kTagLatCount: count = f->AsU64(); break;
+      case kTagLatSum: sum = f->AsU64(); break;
+      case kTagLatBucketIdx: pending_idx = f->AsU32(); break;
+      case kTagLatBucketN:
+        if (!pending_idx.has_value()) {
+          return BadPayload("latency bucket occupancy without an index");
+        }
+        sketch.RestoreBucket(*pending_idx, f->AsU64());
+        pending_idx.reset();
+        break;
+      default: break;
+    }
+  }
+  sketch.RestoreTotals(count, sum);
+  return OkStatus();
+}
+}  // namespace
+
+std::vector<std::byte> SaveLatency(const wli::WanderingNetwork& network) {
+  const telemetry::lat::Lane& lane = network.lat_lane();
+  TlvWriter w;
+  for (std::size_t stage = 0;
+       stage < static_cast<std::size_t>(telemetry::lat::Stage::kCount);
+       ++stage) {
+    const auto s = static_cast<telemetry::lat::Stage>(stage);
+    for (std::size_t index = 0; index < telemetry::lat::StageClassCount(s);
+         ++index) {
+      const telemetry::lat::LatencySketch& sketch = lane.Sketch(s, index);
+      if (sketch.empty()) continue;
+      w.PutNested(kTagLatSketch,
+                  EncodeLatSketch(sketch, static_cast<std::uint32_t>(stage),
+                                  static_cast<std::uint32_t>(index)));
+    }
+  }
+  if (!lane.window_sketch().empty()) {
+    w.PutNested(kTagLatWindowSketch,
+                EncodeLatSketch(lane.window_sketch(), 0, 0));
+  }
+  return w.Finish();
+}
+
+Status LoadLatency(std::span<const std::byte> payload,
+                   wli::WanderingNetwork& network) {
+  TlvReader r({});
+  if (Status s = OpenReader(payload, r); !s.ok()) return s;
+  telemetry::lat::Lane& lane = network.lat_lane();
+  lane.Reset();
+  while (r.HasNext()) {
+    auto rec = r.Next();
+    if (!rec.ok()) return rec.status();
+    if (rec->tag == kTagLatSketch) {
+      telemetry::lat::LatencySketch sketch;
+      std::uint32_t stage = 0, index = 0;
+      if (Status s = DecodeLatSketch(rec->payload, sketch, stage, index);
+          !s.ok()) {
+        return s;
+      }
+      const auto st = static_cast<telemetry::lat::Stage>(stage);
+      if (stage >= static_cast<std::uint32_t>(telemetry::lat::Stage::kCount) ||
+          index >= telemetry::lat::StageClassCount(st)) {
+        return BadPayload("latency sketch coordinates out of range");
+      }
+      lane.MutableSketch(st, index) = sketch;
+    } else if (rec->tag == kTagLatWindowSketch) {
+      std::uint32_t stage = 0, index = 0;
+      telemetry::lat::LatencySketch sketch;
+      if (Status s = DecodeLatSketch(rec->payload, sketch, stage, index);
+          !s.ok()) {
+        return s;
+      }
+      lane.mutable_window_sketch() = sketch;
+    }
+  }
+  return OkStatus();
+}
+
 }  // namespace viator::genesis

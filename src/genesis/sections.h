@@ -109,4 +109,12 @@ std::vector<std::byte> SaveMemPeaks(const wli::WanderingNetwork& network);
 Status LoadMemPeaks(std::span<const std::byte> payload,
                     wli::WanderingNetwork& network);
 
+/// Latency Observatory sketches (every per-(stage, class) quantile sketch
+/// plus the window delivery sketch, sparse buckets + exact integer totals).
+/// Advisory telemetry like the peaks, but integer-exact: the section
+/// round-trips bit-identically. See the kSectionLatency note in snapshot.h.
+std::vector<std::byte> SaveLatency(const wli::WanderingNetwork& network);
+Status LoadLatency(std::span<const std::byte> payload,
+                   wli::WanderingNetwork& network);
+
 }  // namespace viator::genesis

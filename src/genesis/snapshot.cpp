@@ -87,6 +87,7 @@ std::string SectionName(std::uint32_t id) {
     case kSectionFeedback: return "feedback";
     case kSectionNetworkCounters: return "network-counters";
     case kSectionMemPeaks: return "mem-peaks";
+    case kSectionLatency: return "latency";
     default:
       if (id >= kExtraSectionBase) {
         return "extra:" + std::to_string(id);

@@ -58,6 +58,14 @@ enum SectionId : std::uint32_t {
   /// design, so a resumed run's subsequent watermarks may lawfully diverge
   /// from the uninterrupted run's (see GenesisResume tests).
   kSectionMemPeaks,
+  /// Latency Observatory sketches (telemetry/latency_plane.h): the exact
+  /// bucket arrays + integer totals of every per-(stage, class) quantile
+  /// sketch plus the current window's delivery sketch. Advisory telemetry
+  /// like the peaks above — never decision state — but integer-exact, so a
+  /// capture → restore → capture cycle reproduces the section bit for bit.
+  /// Open-flight side entries are transient and deliberately not captured
+  /// (snapshots are quiescent; nothing is in flight).
+  kSectionLatency,
   kExtraSectionBase = 0x1000,
 };
 

@@ -11,6 +11,7 @@ std::string_view HealthEventKindName(HealthEventKind kind) {
     case HealthEventKind::kStarvedEe: return "starved-ee";
     case HealthEventKind::kRoutingLoop: return "routing-loop";
     case HealthEventKind::kMemGrowth: return "mem_growth";
+    case HealthEventKind::kSloBurn: return "slo_burn";
     case HealthEventKind::kKindCount: break;
   }
   return "?";

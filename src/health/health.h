@@ -74,6 +74,7 @@ enum class HealthEventKind : std::uint8_t {
   kStarvedEe,         // code misses accumulate but nothing ever executes
   kRoutingLoop,       // one probe crossed the same ship repeatedly
   kMemGrowth,         // a memory domain grew monotonically past its slack
+  kSloBurn,           // a latency SLO burned for consecutive windows
   kKindCount,
 };
 

@@ -1,0 +1,46 @@
+#include "health/slo_burn.h"
+
+#include <cstdio>
+#include <string>
+
+namespace viator::health {
+
+std::optional<HealthEvent> SloBurnDetector::Observe(
+    std::size_t spec_index, std::uint64_t quantile_ns, sim::TimePoint now,
+    std::uint64_t exemplar_trace) {
+  if (spec_index >= specs_.size()) return std::nullopt;
+  const SloSpec& spec = specs_[spec_index];
+  SpecState& state = states_[spec_index];
+
+  // A quiet window (no deliveries folds to quantile 0) or a healthy one ends
+  // the breach run and closes any active episode.
+  if (quantile_ns == 0 || quantile_ns <= spec.bound_ns) {
+    state.burning = 0;
+    state.active = false;
+    return std::nullopt;
+  }
+
+  ++state.burning;
+  if (state.active || state.burning < spec.burn_windows) return std::nullopt;
+
+  state.active = true;
+  HealthEvent event;
+  event.time = now;
+  event.kind = HealthEventKind::kSloBurn;
+  event.ship = static_cast<net::NodeId>(spec_index);  // spec index, not a ship
+  event.value = static_cast<double>(quantile_ns);
+  event.threshold = static_cast<double>(spec.bound_ns);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p%g delivery %llu ns > %llu ns for %u windows; exemplar "
+                "trace %016llx",
+                spec.quantile * 100.0,
+                static_cast<unsigned long long>(quantile_ns),
+                static_cast<unsigned long long>(spec.bound_ns), state.burning,
+                static_cast<unsigned long long>(exemplar_trace));
+  event.detail = buf;
+  events_.push_back(event);
+  return event;
+}
+
+}  // namespace viator::health

@@ -1,0 +1,71 @@
+// Latency SLO burn gate: a deterministic consecutive-breach detector over
+// per-window delivery quantiles from the Latency Observatory
+// (telemetry/latency_plane.h).
+//
+// The memory gate (mem_growth.h) watches the simulator's own heap; this one
+// watches the workload's end-to-end latency. Once per window the harness
+// feeds each SLO's measured quantile into Observe(). A spec whose quantile
+// exceeds its bound for `burn_windows` consecutive windows raises one
+// `slo_burn` HealthEvent carrying the worst offender's trace id, so the
+// alert hands wnreplay/wnscope the exact shuttle to drill into. The episode
+// stays active (no re-raise) until a window comes in under the bound,
+// mirroring MemGrowthDetector's per-key episode dedup.
+//
+// Determinism contract: quantiles from the latency plane are pure sim-time
+// arithmetic, so the same run raises the same events at the same windows on
+// every machine and thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "health/health.h"
+
+namespace viator::health {
+
+/// One latency objective: "the per-window `quantile` of end-to-end delivery
+/// latency stays at or under `bound_ns` simulated nanoseconds". `quantile`
+/// is descriptive (it names which quantile the harness feeds Observe); the
+/// detector itself only compares the fed value against the bound.
+struct SloSpec {
+  double quantile = 0.99;
+  std::uint64_t bound_ns = 0;
+  /// Consecutive breaching windows before the episode raises. Windows with
+  /// no deliveries (quantile 0) do not breach and end any breach run.
+  std::uint32_t burn_windows = 4;
+};
+
+class SloBurnDetector {
+ public:
+  explicit SloBurnDetector(std::vector<SloSpec> specs)
+      : specs_(std::move(specs)), states_(specs_.size()) {}
+
+  /// Feeds one window's measured quantile for spec `spec_index`, plus the
+  /// trace id of the window's worst delivery (0 = none captured). Returns
+  /// the freshly raised event, if any. HealthEvent::ship carries the spec
+  /// index (this detector keys episodes by objective, not by ship); `value`
+  /// is the measured quantile in ns, `threshold` the bound; `detail` names
+  /// the objective and the exemplar trace id for drill-down.
+  std::optional<HealthEvent> Observe(std::size_t spec_index,
+                                     std::uint64_t quantile_ns,
+                                     sim::TimePoint now,
+                                     std::uint64_t exemplar_trace = 0);
+
+  /// Every event raised since construction, in raise order.
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+  const std::vector<SloSpec>& specs() const { return specs_; }
+
+ private:
+  struct SpecState {
+    bool active = false;       // episode already reported
+    std::uint32_t burning = 0; // length of the current breach run
+  };
+
+  std::vector<SloSpec> specs_;
+  std::vector<SpecState> states_;
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace viator::health

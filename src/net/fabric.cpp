@@ -36,6 +36,7 @@ Status Fabric::Send(Frame frame) {
       !topology_.IsNodeUp(frame.to)) {
     ++frames_dropped_;
     drop_no_link_.Add();
+    VIATOR_LAT_LOST(lat_lane_, frame.lat_id, simulator_.now());
     return NotFound("no up link for hop");
   }
   EnsureLinkState(*link_id);
@@ -46,6 +47,7 @@ Status Fabric::Send(Frame frame) {
   if (dir.queued_bytes + frame.size_bytes > link.config.queue_capacity_bytes) {
     ++frames_dropped_;
     drop_queue_.Add();
+    VIATOR_LAT_LOST(lat_lane_, frame.lat_id, simulator_.now());
     return ResourceExhausted("tx queue overflow");
   }
 
@@ -59,6 +61,10 @@ Status Fabric::Send(Frame frame) {
   dir.queued_bytes += frame.size_bytes;
 
   queue_delay_ns_.Record(static_cast<double>(start - simulator_.now()));
+  if (frame.lat_id != 0) {
+    VIATOR_LAT_QUEUE(lat_lane_, frame.lat_class,
+                     static_cast<std::uint64_t>(start - simulator_.now()));
+  }
   bytes_sent_ += frame.size_bytes;
   frames_sent_.Add();
 
@@ -81,6 +87,7 @@ Status Fabric::Send(Frame frame) {
   if (lost) {
     ++frames_dropped_;
     frames_lost_.Add();
+    VIATOR_LAT_LOST(lat_lane_, frame.lat_id, simulator_.now());
     return OkStatus();  // loss is a channel property, not a caller error
   }
 
@@ -92,10 +99,16 @@ Status Fabric::Send(Frame frame) {
         if (!topology_.IsLinkUp(lid) || !topology_.IsNodeUp(frame.to)) {
           ++frames_dropped_;
           frames_lost_.Add();
+          VIATOR_LAT_LOST(lat_lane_, frame.lat_id, simulator_.now());
           return;
         }
         ++frames_delivered_;
         hop_latency_ns_.Record(static_cast<double>(simulator_.now() - send_time));
+        if (frame.lat_id != 0) {
+          VIATOR_LAT_HOP(lat_lane_, frame.lat_class,
+                         static_cast<std::uint64_t>(simulator_.now() -
+                                                    send_time));
+        }
         if (frame.to < handlers_.size() && handlers_[frame.to]) {
           handlers_[frame.to](frame);
         }

@@ -19,6 +19,7 @@
 #include "net/types.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "telemetry/latency_plane.h"
 
 namespace viator::net {
 
@@ -66,6 +67,13 @@ class Fabric {
   Rng& rng() { return rng_; }
   const Rng& rng() const { return rng_; }
 
+  /// Binds the latency lane this fabric attributes per-hop queue/transit
+  /// stages to and closes lost flights against (nullptr = unbound, every
+  /// probe a no-op — raw fabrics in transport tests stay lane-free). The
+  /// lane must outlive the fabric. Observability-only: no transmission
+  /// decision ever reads it.
+  void BindLatencyLane(telemetry::lat::Lane* lane) { lat_lane_ = lane; }
+
   /// Mixes the loss-RNG state and transmission accounting into a rolling
   /// state digest (flight-recorder hook). Deliberately excludes per-direction
   /// queue state, which is transient in-flight detail.
@@ -112,6 +120,7 @@ class Fabric {
   sim::Counter& frames_lost_;
   sim::Histogram& queue_delay_ns_;
   sim::Histogram& hop_latency_ns_;
+  telemetry::lat::Lane* lat_lane_ = nullptr;
   std::vector<ReceiveHandler> handlers_;
   std::vector<std::array<Direction, 2>> directions_;  // per link: a->b, b->a
   std::vector<std::uint64_t> link_bytes_;

@@ -29,6 +29,13 @@ struct Frame {
   /// enabled keeps the exact per-frame loss draws of the same run without
   /// them (determinism neutrality of the observability plane).
   bool telemetry = false;
+  /// Latency-plane attribution (telemetry/latency_plane.h): the shuttle
+  /// kind riding in `payload` and its transient flight id. Zero lat_id
+  /// means "not a tracked shuttle" (plane off, or a non-shuttle payload);
+  /// the fabric then records no latency stages and closes no flight. Both
+  /// are observability-only: never read by transmission decisions.
+  std::uint8_t lat_class = 0;
+  std::uint64_t lat_id = 0;
 };
 
 }  // namespace viator::net

@@ -39,6 +39,12 @@ struct Handoff {
   net::NodeId entry_node = net::kInvalidNode;
   /// The capsule itself; header/transit re-addressed by the merge.
   wli::Shuttle shuttle;
+  /// Latency-plane continuity (telemetry/latency_plane.h): the flight's
+  /// birth time carried across the shard boundary, so the destination
+  /// shard's lane can resume the end-to-end delivery clock. 0 = flight not
+  /// tracked. Deliberately excluded from the handoff hash: pure
+  /// observability, derived from deterministic sim time.
+  sim::TimePoint lat_birth = 0;
 
   /// The deterministic merge order.
   bool operator<(const Handoff& other) const {

@@ -47,6 +47,11 @@ struct ShardedNetwork::ShardSlot {
   std::uint64_t window_handoffs_out = 0;
   std::uint64_t window_handoffs_in = 0;
   std::uint64_t window_unroutable = 0;
+
+  /// The latency plane's fold of the window that just ran (barrier-written):
+  /// delivery quantiles plus the worst-K tail exemplars wnscope's drill-down
+  /// table resolves back to trace ids. Empty when the plane is off.
+  telemetry::lat::Lane::WindowStats lat_window;
 };
 
 ShardedNetwork::ShardedNetwork(const net::Topology& global,
@@ -160,9 +165,20 @@ void ShardedNetwork::OnBoundary(ShardId shard, wli::Ship& gateway,
   handoff.source_shard = shard;
   handoff.sequence = slot.handoff_seq++;
   handoff.entry_node = from_a ? link.b : link.a;
+  if (telemetry::lat::Enabled() && shuttle.lat_id != 0) {
+    // Latency continuity across shards: close the flight out of the source
+    // lane and carry its birth time so the destination lane re-seeds it at
+    // merge. Observability-only — excluded from the handoff hash.
+    handoff.lat_birth = slot.network->lat_lane().Depart(shuttle.lat_id).birth;
+  }
   handoff.shuttle = std::move(shuttle);
   ++slot.window_handoffs_out;
   mailbox_.Push(from_a ? link.shard_b : link.shard_a, std::move(handoff));
+}
+
+const telemetry::lat::Lane::WindowStats& ShardedNetwork::LatencyWindow(
+    ShardId shard) const {
+  return shards_[shard]->lat_window;
 }
 
 std::uint64_t ShardedNetwork::ShardHash(ShardId shard) const {
@@ -219,6 +235,14 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
           slot.simulator.queue_heap_bytes() + slot.simulator.slot_pool_bytes() +
           slot.network->shuttle_pool().retained_bytes() +
           slot.topology.route_cache_bytes());
+      // Fold the latency plane's window sketch at the barrier: quantiles for
+      // the counter tracks and the worst-K exemplars for tail drill-down.
+      // Deterministic (pure sim-time), so benches pin the series.
+      if (telemetry::lat::Enabled()) {
+        slot.lat_window = slot.network->lat_lane().FoldWindow();
+      } else {
+        slot.lat_window = {};
+      }
       const telemetry::ShardWindowSample sample{
           .dispatched = results[shard].dispatched,
           .handoffs_out = slot.window_handoffs_out,
@@ -227,7 +251,11 @@ std::uint64_t ShardedNetwork::RunWindows(std::size_t count) {
           .start_ns = results[shard].start_ns,
           .stall_ns = max_wall - results[shard].wall_ns,
           .queue_depth = static_cast<double>(slot.simulator.queue_depth()),
-          .pool_bytes = pool_bytes};
+          .pool_bytes = pool_bytes,
+          .lat_p50_ns = slot.lat_window.p50_ns,
+          .lat_p95_ns = slot.lat_window.p95_ns,
+          .lat_p99_ns = slot.lat_window.p99_ns,
+          .lat_delivered = slot.lat_window.delivered};
       telemetry::PublishShardWindow(stats_, shard, sample);
       // Each shard's induced topology carries its own route cache; publish
       // its effectiveness under the shard's metric prefix.
@@ -292,6 +320,18 @@ std::size_t ShardedNetwork::MergeWindow(sim::TimePoint window_end,
       shuttle.header.source = entry_local;
       shuttle.header.destination = plan_.local_of(
           link.shard_a == entry_shard ? link.a : link.b);
+    }
+
+    if (telemetry::lat::Enabled() && shuttle.lat_id != 0 &&
+        handoff.lat_birth != 0) {
+      // Re-seed the flight in the destination shard's lane so the eventual
+      // delivery measures the true end-to-end latency from global birth.
+      telemetry::lat::Lane::Departure departure;
+      departure.birth = handoff.lat_birth;
+      departure.trace_id = shuttle.trace.trace_id;
+      departure.cls = static_cast<std::uint8_t>(shuttle.header.kind);
+      departure.valid = true;
+      networks_[entry_shard]->lat_lane().Arrive(shuttle.lat_id, departure);
     }
 
     if (hash_due) {

@@ -36,6 +36,7 @@
 #include "sim/executor.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "telemetry/latency_plane.h"
 #include "telemetry/shard_metrics.h"
 
 namespace viator::shard {
@@ -161,6 +162,11 @@ class ShardedNetwork {
     return observatory_;
   }
   telemetry::ShardObservatory& observatory() { return observatory_; }
+  /// The latency plane's fold of the last window that ran on `shard`:
+  /// delivery quantiles plus the worst-K tail exemplars (trace ids for the
+  /// wnscope drill-down / wnreplay seek handoff). Empty when the plane is
+  /// off or no window has run. Barrier-time read only.
+  const telemetry::lat::Lane::WindowStats& LatencyWindow(ShardId shard) const;
   std::uint64_t total_dispatched() const { return executor_->total_dispatched(); }
   /// Handoffs whose zero-latency arrival had to be deferred to the next
   /// window boundary (only possible when a cross link has latency < window).

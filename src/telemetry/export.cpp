@@ -269,6 +269,19 @@ void WriteShardTimelineJson(const ShardObservatory& observatory,
           << "\"ph\":\"C\",\"ts\":" << emit_ts(base_ns + end_ns)
           << ",\"pid\":1,\"tid\":" << shard
           << ",\"args\":{\"bytes\":" << s.pool_bytes << "}}";
+      // Per-shard latency counter track: the window's end-to-end delivery
+      // quantiles from the latency plane's fold (simulated nanoseconds,
+      // deterministic). Only drawn when the window folded deliveries, so
+      // plane-off timelines are byte-identical to before the plane existed.
+      if (s.lat_delivered != 0) {
+        sep();
+        out << "{\"name\":\"lat.delivery_ns\",\"cat\":\"shard.lat\","
+            << "\"ph\":\"C\",\"ts\":" << emit_ts(base_ns + end_ns)
+            << ",\"pid\":1,\"tid\":" << shard << ",\"args\":{\"p50\":"
+            << s.lat_p50_ns << ",\"p95\":" << s.lat_p95_ns
+            << ",\"p99\":" << s.lat_p99_ns
+            << ",\"delivered\":" << s.lat_delivered << "}}";
+      }
     }
     sep();
     out << "{\"name\":\"merge " << w.window_index
@@ -431,13 +444,30 @@ void WritePrometheusText(const sim::StatsRegistry& stats, std::ostream& out) {
   }
   for (const auto& [name, hist] : stats.histograms()) {
     const std::string pname = PrometheusName(name);
-    PrometheusHeader(out, pname, name, "histogram", "summary");
-    for (const double q : {0.5, 0.9, 0.99}) {
-      out << pname << "{quantile=\""
-          << Escaped(FormatDouble(q, 2), EscapeStyle::kPrometheusLabel)
-          << "\"} " << ShortestDouble(hist.Quantile(q)) << "\n";
+    PrometheusHeader(out, pname, name, "histogram", "histogram");
+    // Classic (le-bucketed, cumulative) exposition straight from the
+    // histogram's half-power-of-two buckets: bucket i covers
+    // [2^((i+origin)/2), 2^((i+origin+1)/2)), so its upper bound is exact.
+    // Empty buckets are skipped — Prometheus semantics are cumulative, so
+    // sparse output loses nothing and keeps the text stable for goldens.
+    const sim::Histogram::RawState raw = hist.SaveState();
+    std::uint64_t cumulative = raw.zeros;
+    if (cumulative > 0) {
+      // Everything below the bucketed range (zeros and sub-2^-32 samples).
+      out << pname << "_bucket{le=\""
+          << ShortestDouble(std::exp2(raw.bucket_origin / 2.0)) << "\"} "
+          << cumulative << "\n";
     }
-    out << pname << "_sum " << ShortestDouble(hist.sum()) << "\n"
+    for (std::size_t i = 0; i < raw.buckets.size(); ++i) {
+      if (raw.buckets[i] == 0) continue;
+      cumulative += raw.buckets[i];
+      const double upper =
+          std::exp2((static_cast<double>(i) + raw.bucket_origin + 1) / 2.0);
+      out << pname << "_bucket{le=\"" << ShortestDouble(upper) << "\"} "
+          << cumulative << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << raw.count << "\n"
+        << pname << "_sum " << ShortestDouble(hist.sum()) << "\n"
         << pname << "_count " << hist.count() << "\n";
   }
   for (const auto& [name, series] : stats.series()) {

@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <sstream>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -10,6 +9,7 @@
 #endif
 
 #include "telemetry/mem_stats.h"
+#include "telemetry/plane_report.h"
 
 namespace viator::telemetry::mem {
 
@@ -36,22 +36,16 @@ namespace viator::telemetry {
 void PublishMemStats(sim::StatsRegistry& stats,
                      const std::array<mem::Counter, mem::kDomainCount>&
                          aggregate) {
-  // Gauges, following the perf.* precedent: published values are
-  // point-in-time mirrors of the aggregate, so re-publishing after more
-  // windows overwrites instead of double-counting.
   for (std::size_t i = 0; i < mem::kDomainCount; ++i) {
-    const std::string base = mem::DomainName(static_cast<mem::Domain>(i));
     const mem::Counter& c = aggregate[i];
-    stats.GetGauge(base + ".live_bytes")
-        .Set(static_cast<double>(c.live_bytes));
-    stats.GetGauge(base + ".peak_bytes")
-        .Set(static_cast<double>(c.peak_bytes));
-    stats.GetGauge(base + ".allocs").Set(static_cast<double>(c.allocs));
-    stats.GetGauge(base + ".frees").Set(static_cast<double>(c.frees));
-    stats.GetGauge(base + ".alloc_bytes")
-        .Set(static_cast<double>(c.alloc_bytes));
-    stats.GetGauge(base + ".free_bytes")
-        .Set(static_cast<double>(c.free_bytes));
+    plane::PublishGaugeRow(
+        stats, mem::DomainName(static_cast<mem::Domain>(i)),
+        {{".live_bytes", static_cast<double>(c.live_bytes)},
+         {".peak_bytes", static_cast<double>(c.peak_bytes)},
+         {".allocs", static_cast<double>(c.allocs)},
+         {".frees", static_cast<double>(c.frees)},
+         {".alloc_bytes", static_cast<double>(c.alloc_bytes)},
+         {".free_bytes", static_cast<double>(c.free_bytes)}});
   }
 }
 
@@ -116,44 +110,33 @@ std::string FormatMemReport(
     total_alloc_bytes += c.alloc_bytes;
   }
 
-  std::ostringstream out;
-  char line[192];
-  std::snprintf(line, sizeof(line), "%-22s %14s %14s %10s %10s %14s\n",
-                "domain", "live", "peak", "allocs", "frees", "alloc bytes");
-  out << line;
-  bool any = false;
+  plane::TableBuilder table;
+  table.Line("%-22s %14s %14s %10s %10s %14s\n", "domain", "live", "peak",
+             "allocs", "frees", "alloc bytes");
   for (std::size_t i = 0; i < mem::kDomainCount; ++i) {
     const mem::Counter& c = aggregate[i];
     if (c.allocs == 0 && c.frees == 0) continue;
-    any = true;
-    std::snprintf(line, sizeof(line),
-                  "%-22s %14" PRId64 " %14" PRId64 " %10" PRIu64
+    table.DataRow("%-22s %14" PRId64 " %14" PRId64 " %10" PRIu64
                   " %10" PRIu64 " %14" PRIu64 "\n",
                   mem::DomainName(static_cast<mem::Domain>(i)), c.live_bytes,
                   c.peak_bytes, c.allocs, c.frees, c.alloc_bytes);
-    out << line;
   }
-  if (!any) {
-    out << "(no allocations recorded: counters disabled or nothing ran)\n";
-    return out.str();
+  if (table.has_rows()) {
+    table.Line("%-22s %14" PRId64 " %14" PRId64 " %10" PRIu64 " %10" PRIu64
+               " %14" PRIu64 "\n",
+               "total", total_live, total_peak, total_allocs, total_frees,
+               total_alloc_bytes);
+    if (maxrss_bytes != 0) {
+      const double coverage =
+          100.0 * static_cast<double>(total_live > 0 ? total_live : 0) /
+          static_cast<double>(maxrss_bytes);
+      table.Line("coverage: %" PRId64 " live of %" PRIu64
+                 " maxrss bytes (%.1f%%)\n",
+                 total_live, maxrss_bytes, coverage);
+    }
   }
-  std::snprintf(line, sizeof(line),
-                "%-22s %14" PRId64 " %14" PRId64 " %10" PRIu64 " %10" PRIu64
-                " %14" PRIu64 "\n",
-                "total", total_live, total_peak, total_allocs, total_frees,
-                total_alloc_bytes);
-  out << line;
-  if (maxrss_bytes != 0) {
-    const double coverage =
-        100.0 * static_cast<double>(total_live > 0 ? total_live : 0) /
-        static_cast<double>(maxrss_bytes);
-    std::snprintf(line, sizeof(line),
-                  "coverage: %" PRId64 " live of %" PRIu64
-                  " maxrss bytes (%.1f%%)\n",
-                  total_live, maxrss_bytes, coverage);
-    out << line;
-  }
-  return out.str();
+  return std::move(table).Finish(
+      "(no allocations recorded: counters disabled or nothing ran)");
 }
 
 std::string FormatMemReport() { return FormatMemReport(mem::Aggregate()); }

@@ -1,10 +1,9 @@
 #include "telemetry/perf_counters.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <sstream>
 
 #include "telemetry/perf_stats.h"
+#include "telemetry/plane_report.h"
 
 namespace viator::telemetry::perf {
 
@@ -35,17 +34,13 @@ namespace viator::telemetry {
 void PublishPerfStats(sim::StatsRegistry& stats,
                       const std::array<perf::Counter, perf::kMetricCount>&
                           aggregate) {
-  // Gauges, following the profiler.* precedent: published values are
-  // point-in-time mirrors of the aggregate, so re-publishing after more
-  // windows overwrites instead of double-counting.
   for (std::size_t i = 0; i < perf::kMetricCount; ++i) {
-    const std::string base =
-        perf::MetricName(static_cast<perf::Metric>(i));
     const perf::Counter& c = aggregate[i];
-    stats.GetGauge(base + ".calls").Set(static_cast<double>(c.calls));
-    stats.GetGauge(base + ".cycles").Set(static_cast<double>(c.cycles));
-    stats.GetGauge(base + ".max_cycles")
-        .Set(static_cast<double>(c.max_cycles));
+    plane::PublishGaugeRow(
+        stats, perf::MetricName(static_cast<perf::Metric>(i)),
+        {{".calls", static_cast<double>(c.calls)},
+         {".cycles", static_cast<double>(c.cycles)},
+         {".max_cycles", static_cast<double>(c.max_cycles)}});
   }
 }
 
@@ -58,11 +53,9 @@ std::string FormatPerfReport(
   std::uint64_t total_cycles = 0;
   for (const perf::Counter& c : aggregate) total_cycles += c.cycles;
 
-  std::ostringstream out;
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-22s %12s %16s %10s %12s %7s\n",
-                "probe", "calls", "cycles", "cyc/call", "max", "share");
-  out << line;
+  plane::TableBuilder table;
+  table.Line("%-22s %12s %16s %10s %12s %7s\n", "probe", "calls", "cycles",
+             "cyc/call", "max", "share");
   for (std::size_t i = 0; i < perf::kMetricCount; ++i) {
     const perf::Counter& c = aggregate[i];
     if (c.calls == 0) continue;
@@ -73,18 +66,14 @@ std::string FormatPerfReport(
             ? 0.0
             : 100.0 * static_cast<double>(c.cycles) /
                   static_cast<double>(total_cycles);
-    std::snprintf(line, sizeof(line),
-                  "%-22s %12llu %16llu %10.1f %12llu %6.1f%%\n",
+    table.DataRow("%-22s %12llu %16llu %10.1f %12llu %6.1f%%\n",
                   perf::MetricName(static_cast<perf::Metric>(i)),
                   static_cast<unsigned long long>(c.calls),
                   static_cast<unsigned long long>(c.cycles), per_call,
                   static_cast<unsigned long long>(c.max_cycles), share);
-    out << line;
   }
-  if (out.str().find('%') == std::string::npos) {
-    out << "(no probes fired: counters disabled or nothing ran)\n";
-  }
-  return out.str();
+  return std::move(table).Finish(
+      "(no probes fired: counters disabled or nothing ran)");
 }
 
 std::string FormatPerfReport() { return FormatPerfReport(perf::Aggregate()); }

@@ -26,6 +26,18 @@ void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
   stats.GetGauge(ShardMetricName(shard, "queue_depth")).Set(sample.queue_depth);
   stats.GetGauge(ShardMetricName(shard, "pool_bytes"))
       .Set(static_cast<double>(sample.pool_bytes));
+  // Latency-plane fold: only publish when the window folded deliveries, so
+  // runs with the plane off never grow the metric namespace.
+  if (sample.lat_delivered != 0) {
+    stats.GetCounter(ShardMetricName(shard, "lat_delivered"))
+        .Add(sample.lat_delivered);
+    stats.GetGauge(ShardMetricName(shard, "lat_p50_ns"))
+        .Set(static_cast<double>(sample.lat_p50_ns));
+    stats.GetGauge(ShardMetricName(shard, "lat_p95_ns"))
+        .Set(static_cast<double>(sample.lat_p95_ns));
+    stats.GetGauge(ShardMetricName(shard, "lat_p99_ns"))
+        .Set(static_cast<double>(sample.lat_p99_ns));
+  }
 }
 
 ShardObservatory::ShardObservatory(std::size_t shard_count,

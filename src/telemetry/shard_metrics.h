@@ -49,14 +49,25 @@ struct ShardWindowSample {
   /// unlike the wall fields, byte series are pinned by benches and drawn
   /// as Perfetto counter tracks.
   std::uint64_t pool_bytes = 0;
+  /// Latency-plane window fold (telemetry/latency_plane.h): end-to-end
+  /// delivery quantiles over the shuttles this shard delivered during the
+  /// window, in simulated nanoseconds, and how many deliveries the fold
+  /// covers. Pure sim-time arithmetic — deterministic across thread counts,
+  /// pinned by bench_latency, drawn as Perfetto counter tracks. All zero
+  /// when the latency plane is off or nothing was delivered.
+  std::uint64_t lat_p50_ns = 0;
+  std::uint64_t lat_p95_ns = 0;
+  std::uint64_t lat_p99_ns = 0;
+  std::uint64_t lat_delivered = 0;
 };
 
 /// "shard.<id>.<metric>" (the dotted form exporters sanitize themselves).
 std::string ShardMetricName(std::uint32_t shard, std::string_view metric);
 
 /// Adds the sample into `stats`: counters shard.<id>.{dispatched,
-/// handoffs_out, handoffs_in, wall_ns, stall_ns}, gauges
-/// shard.<id>.queue_depth and shard.<id>.pool_bytes.
+/// handoffs_out, handoffs_in, wall_ns, stall_ns, lat_delivered}, gauges
+/// shard.<id>.{queue_depth, pool_bytes, lat_p50_ns, lat_p95_ns, lat_p99_ns}
+/// (the lat gauges only when the sample folded deliveries).
 void PublishShardWindow(sim::StatsRegistry& stats, std::uint32_t shard,
                         const ShardWindowSample& sample);
 

@@ -15,6 +15,7 @@
 #include "net/failure.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "telemetry/latency_plane.h"
 
 namespace viator {
 namespace {
@@ -227,6 +228,52 @@ TEST(GenesisResume, MemoryPeaksSurviveSnapshotRestore) {
   ASSERT_TRUE(target.RestoreFull(*snapshot).ok());
   EXPECT_EQ(restored.network->shuttle_pool().peak_retained_bytes(), pool_peak);
   EXPECT_EQ(restored.simulator.queue_peak_heap_bytes(), queue_peak);
+}
+
+TEST(GenesisResume, LatencySketchesSurviveSnapshotRestore) {
+  // The Latency Observatory section is advisory but integer-exact: every
+  // per-(stage, class) sketch and the window delivery sketch round-trip
+  // bit-identically (open flights are deliberately not captured — a
+  // quiescent boundary has none worth keeping).
+  telemetry::lat::SetEnabled(true);
+  Replica source;
+  Drive(source, 0, 40);
+  telemetry::lat::SetEnabled(false);
+  const telemetry::lat::Lane& lane = source.network->lat_lane();
+  EXPECT_GT(lane.DeliveredCount(), 0u);
+
+  genesis::GenesisManager manager(*source.network);
+  auto snapshot = manager.CaptureFull();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  Replica restored = Replica(Replica::Mode::kFresh);
+  genesis::GenesisManager target(*restored.network);
+  ASSERT_TRUE(target.RestoreFull(*snapshot).ok());
+  const telemetry::lat::Lane& twin = restored.network->lat_lane();
+  for (std::size_t s = 0; s < telemetry::lat::kStageCount; ++s) {
+    const auto stage = static_cast<telemetry::lat::Stage>(s);
+    for (std::size_t c = 0; c < telemetry::lat::StageClassCount(stage); ++c) {
+      EXPECT_EQ(twin.Sketch(stage, c), lane.Sketch(stage, c))
+          << telemetry::lat::StageName(stage) << "[" << c << "]";
+    }
+  }
+  EXPECT_EQ(twin.window_sketch(), lane.window_sketch());
+
+  // Capture → restore → capture: the latency payload is byte-stable.
+  auto recapture = target.CaptureFull();
+  ASSERT_TRUE(recapture.ok());
+  auto first = genesis::ParseSnapshot(*snapshot);
+  auto second = genesis::ParseSnapshot(*recapture);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const genesis::SectionRecord* a =
+      first->Find(genesis::kSectionLatency);
+  const genesis::SectionRecord* b =
+      second->Find(genesis::kSectionLatency);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->digest, b->digest);
+  EXPECT_EQ(a->payload, b->payload);
 }
 
 // ---- Delta snapshots --------------------------------------------------------

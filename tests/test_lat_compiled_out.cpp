@@ -1,0 +1,76 @@
+// The compiled-out half of the latency-plane cost contract
+// (docs/LATENCY.md): this translation unit is built with
+// -DVIATOR_LAT_COUNTERS=0 (see tests/CMakeLists.txt), so the probe macros
+// must expand to nothing at all — no flight id is ever assigned and no
+// sketch bucket moves even with the runtime switch forced on, and the
+// macros must still parse everywhere a statement can appear.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/latency_plane.h"
+
+#if VIATOR_LAT_COUNTERS
+#error "this test must be compiled with -DVIATOR_LAT_COUNTERS=0"
+#endif
+
+namespace viator {
+namespace {
+
+namespace lat = telemetry::lat;
+
+struct FakeShuttle {
+  std::uint64_t lat_id = 0;
+  struct {
+    std::uint8_t kind = 0;
+  } header;
+  struct {
+    std::uint64_t trace_id = 0;
+  } trace;
+};
+
+std::uint64_t InstrumentedWork(lat::Lane* lane, std::size_t n) {
+  FakeShuttle shuttle;
+  VIATOR_LAT_BIRTH(lane, shuttle, 1);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    VIATOR_LAT_HOP(lane, 0, i);
+    VIATOR_LAT_QUEUE(lane, 0, i);
+    acc += i * 2654435761u;
+  }
+  VIATOR_LAT_EXEC_ENTER(lane, shuttle, 2);
+  VIATOR_LAT_EXEC_DONE(lane, shuttle, 3, 0);
+  if (n % 2 == 0) VIATOR_LAT_DELIVERED(lane, shuttle, 4);  // statement position
+  else VIATOR_LAT_DROP(lane, shuttle, 4);
+  VIATOR_LAT_LOST(lane, shuttle.lat_id, 5);
+  return acc + shuttle.lat_id;
+}
+
+TEST(LatCompiledOut, NoProbeFiresEvenWithRuntimeSwitchOn) {
+  lat::SetEnabled(true);
+  lat::Lane lane;
+  EXPECT_NE(InstrumentedWork(&lane, 1000), 0u);
+  EXPECT_NE(InstrumentedWork(nullptr, 999), 0u);  // null lane parses too
+  lat::SetEnabled(false);
+
+  // Nothing moved: no flight opened, no stage sketch recorded.
+  EXPECT_EQ(lane.open_flights(), 0u);
+  EXPECT_EQ(lane.DeliveredCount(), 0u);
+  EXPECT_EQ(lane.DroppedCount(), 0u);
+  for (std::size_t s = 0; s < lat::kStageCount; ++s) {
+    const auto stage = static_cast<lat::Stage>(s);
+    for (std::size_t c = 0; c < lat::StageClassCount(stage); ++c) {
+      EXPECT_TRUE(lane.Sketch(stage, c).empty())
+          << lat::StageName(stage) << "[" << c << "]";
+    }
+  }
+
+  // The Lane API itself stays live in this build (the shard barrier still
+  // folds windows); only the probe macros vanish.
+  lane.OnBirth(1, 0, 0, 0);
+  lane.OnDelivered(1, 10);
+  EXPECT_EQ(lane.DeliveredCount(), 1u);
+}
+
+}  // namespace
+}  // namespace viator

@@ -421,6 +421,9 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
   // Per-shard metrics through the standard Prometheus exporter, pinned to a
   // committed golden: scrape configs depend on these exact names/headers.
   sim::StatsRegistry stats;
+  // Shard 0 folded deliveries this window, so its latency quantile gauges
+  // appear; shard 1 did not, pinning the only-when-delivered contract (a
+  // plane-off scrape never grows the namespace).
   telemetry::PublishShardWindow(stats, 0,
                                 {.dispatched = 12,
                                  .handoffs_out = 3,
@@ -428,7 +431,11 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
                                  .wall_ns = 1200,
                                  .stall_ns = 450,
                                  .queue_depth = 7.0,
-                                 .pool_bytes = 4096});
+                                 .pool_bytes = 4096,
+                                 .lat_p50_ns = 250000,
+                                 .lat_p95_ns = 900000,
+                                 .lat_p99_ns = 1500000,
+                                 .lat_delivered = 9});
   telemetry::PublishShardWindow(stats, 1,
                                 {.dispatched = 5,
                                  .handoffs_out = 1,
@@ -463,8 +470,12 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
   std::ostringstream out;
   telemetry::WritePrometheusText(stats, out);
 
-  std::ifstream golden(std::string(VIATOR_GOLDEN_DIR) +
-                       "/shard_prometheus.txt");
+  const std::string path =
+      std::string(VIATOR_GOLDEN_DIR) + "/shard_prometheus.txt";
+  if (std::getenv("VIATOR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream(path) << out.str();  // deliberate golden refresh
+  }
+  std::ifstream golden(path);
   ASSERT_TRUE(golden.is_open()) << "missing tests/golden/shard_prometheus.txt";
   std::stringstream expected;
   expected << golden.rdbuf();
@@ -473,9 +484,10 @@ TEST(ShardMetrics, PrometheusExportMatchesGoldenFile) {
 
 TEST(ShardTimeline, PerfettoExportMatchesGoldenFile) {
   // The Perfetto trace_event shape — thread-name metadata, window/barrier
-  // slices, per-shard mem.pool_bytes counter tracks ("ph":"C") — is contract
-  // output (ui.perfetto.dev and scripts parse it), so it is pinned to a
-  // committed golden built from hand-authored deterministic records.
+  // slices, per-shard mem.pool_bytes and lat.delivery_ns counter tracks
+  // ("ph":"C") — is contract output (ui.perfetto.dev and scripts parse it),
+  // so it is pinned to a committed golden built from hand-authored
+  // deterministic records.
   telemetry::ShardObservatory observatory(2);
   telemetry::ShardWindowRecord w0;
   w0.window_index = 0;
@@ -490,7 +502,11 @@ TEST(ShardTimeline, PerfettoExportMatchesGoldenFile) {
                 .start_ns = 100,
                 .stall_ns = 0,
                 .queue_depth = 3.0,
-                .pool_bytes = 4096},
+                .pool_bytes = 4096,
+                .lat_p50_ns = 250000,
+                .lat_p95_ns = 900000,
+                .lat_p99_ns = 1500000,
+                .lat_delivered = 9},
                {.dispatched = 4,
                 .handoffs_out = 0,
                 .handoffs_in = 2,
@@ -516,8 +532,12 @@ TEST(ShardTimeline, PerfettoExportMatchesGoldenFile) {
   std::ostringstream out;
   telemetry::WriteShardTimelineJson(observatory, out);
 
-  std::ifstream golden(std::string(VIATOR_GOLDEN_DIR) +
-                       "/shard_timeline.json");
+  const std::string path =
+      std::string(VIATOR_GOLDEN_DIR) + "/shard_timeline.json";
+  if (std::getenv("VIATOR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream(path) << out.str();  // deliberate golden refresh
+  }
+  std::ifstream golden(path);
   ASSERT_TRUE(golden.is_open()) << "missing tests/golden/shard_timeline.json";
   std::stringstream expected;
   expected << golden.rdbuf();

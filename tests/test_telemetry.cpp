@@ -237,15 +237,17 @@ TEST(Export, PrometheusTextSanitizesNames) {
   const std::string text = out.str();
   EXPECT_NE(text.find("viator_wn_shuttles_injected 3"), std::string::npos);
   EXPECT_NE(text.find("viator_fabric_latency_ns_count 1"), std::string::npos);
-  EXPECT_NE(text.find("quantile="), std::string::npos);
+  EXPECT_NE(text.find("le="), std::string::npos);
   // Metric names never keep the dot ("fabric.latency" would be invalid).
   EXPECT_EQ(text.find("viator_fabric.latency"), std::string::npos);
 }
 
 TEST(Export, PrometheusTextMatchesGoldenBytes) {
   // Byte-exact exposition-format golden: HELP + TYPE per metric, sanitized
-  // names, summary quantiles. Exporter changes must update this golden
-  // deliberately — scrape configs depend on the exact shape.
+  // names, classic histograms with cumulative le buckets. Exporter changes
+  // must update this golden deliberately — scrape configs depend on the
+  // exact shape. 4.0 lands in the half-octave bucket [4, 2^2.5), whose
+  // upper bound 2^2.5 prints as its shortest round-trip decimal.
   sim::StatsRegistry stats;
   stats.GetCounter("wn.probes").Add(3);
   stats.GetGauge("health.score.4").Set(0.25);
@@ -260,10 +262,9 @@ TEST(Export, PrometheusTextMatchesGoldenBytes) {
             "# TYPE viator_health_score_4 gauge\n"
             "viator_health_score_4 0.25\n"
             "# HELP viator_h_lat Viator histogram h.lat\n"
-            "# TYPE viator_h_lat summary\n"
-            "viator_h_lat{quantile=\"0.50\"} 4\n"
-            "viator_h_lat{quantile=\"0.90\"} 4\n"
-            "viator_h_lat{quantile=\"0.99\"} 4\n"
+            "# TYPE viator_h_lat histogram\n"
+            "viator_h_lat_bucket{le=\"5.6568542494923806\"} 1\n"
+            "viator_h_lat_bucket{le=\"+Inf\"} 1\n"
             "viator_h_lat_sum 4\n"
             "viator_h_lat_count 1\n");
 }

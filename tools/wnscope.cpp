@@ -23,6 +23,14 @@
 //                                        and mem.txt, and print the
 //                                        per-domain attribution table with a
 //                                        coverage line against maxrss
+//   wnscope latency <out-dir>            run a seeded sharded workload with
+//                                        the latency plane and tracing on,
+//                                        write lat.prom and lat.txt, print
+//                                        the per-stage quantile table and a
+//                                        worst-K tail drill-down whose rows
+//                                        carry the trace id (resolvable in
+//                                        the span collectors) and the birth
+//                                        sim-time `wnreplay seek` travels to
 //
 // Span files may be either the native JSONL or the Chrome trace_event JSON
 // that `record` writes; both parse back identically.
@@ -45,6 +53,7 @@
 #include "shard/sharded_network.h"
 #include "sim/simulator.h"
 #include "telemetry/export.h"
+#include "telemetry/lat_stats.h"
 #include "telemetry/mem_stats.h"
 #include "telemetry/perf_stats.h"
 
@@ -59,7 +68,8 @@ int Usage() {
                "       wnscope tree    <spans-file> [trace-hex]\n"
                "       wnscope diff    <metrics-a> <metrics-b>\n"
                "       wnscope timeline <out-dir>\n"
-               "       wnscope mem     <out-dir>\n";
+               "       wnscope mem     <out-dir>\n"
+               "       wnscope latency <out-dir>\n";
   return 2;
 }
 
@@ -245,6 +255,104 @@ int RunMem(const std::string& out_dir) {
   return rc;
 }
 
+/// Seeded single-threaded sharded demo with the latency plane and tracing
+/// enabled: windows are stepped one at a time so every barrier fold's
+/// worst-delivery exemplars are harvested, then the per-stage quantile table
+/// (merged across shards) is printed next to a worst-K tail drill-down. Each
+/// drill-down row carries the exemplar's trace id — resolved against the
+/// shards' span collectors right here, the same join `bench_latency` gates —
+/// and its birth sim-time, the coordinate `wnreplay seek` travels to.
+int RunLatency(const std::string& out_dir) {
+  constexpr std::uint64_t kSeed = 717171;
+  namespace lat = telemetry::lat;
+  lat::SetEnabled(true);
+
+  net::Topology global = net::MakeGrid(12, 12);
+  shard::ShardedConfig config;
+  config.shard_count = 4;
+  config.threads = 1;
+  config.seed = kSeed;
+  config.assignment = shard::GridRowBands(12, 12, 4);
+  config.wn.telemetry.enable_tracing = true;
+  // Keep the whole run's spans alive so every drill-down trace resolves.
+  config.wn.telemetry.span_capacity = 1 << 18;
+  int rc = 0;
+  {
+    shard::ShardedNetwork world(global, config);
+    Rng traffic(kSeed ^ 0x1a7e);
+    std::vector<lat::Exemplar> tail;
+    const auto harvest = [&] {
+      for (std::uint32_t shard = 0; shard < world.shard_count(); ++shard) {
+        const lat::Lane::WindowStats& fold = world.LatencyWindow(shard);
+        tail.insert(tail.end(), fold.worst.begin(), fold.worst.end());
+      }
+    };
+    for (int round = 0; round < 16; ++round) {
+      for (int i = 0; i < 48; ++i) {
+        const auto src = static_cast<net::NodeId>(traffic.UniformInt(0, 143));
+        auto dst = static_cast<net::NodeId>(traffic.UniformInt(0, 143));
+        if (dst == src) dst = static_cast<net::NodeId>((dst + 1) % 144);
+        (void)world.Inject(src, dst, {round, i}, round * 100 + i + 1);
+      }
+      for (int window = 0; window < 4; ++window) {
+        world.RunWindows(1);
+        harvest();
+      }
+    }
+    world.RunUntilQuiescent();
+    harvest();
+
+    lat::Lane merged;
+    for (std::uint32_t shard = 0; shard < world.shard_count(); ++shard) {
+      world.shard_network(shard).lat_lane().MergeInto(merged);
+    }
+
+    std::sort(tail.begin(), tail.end(),
+              [](const lat::Exemplar& a, const lat::Exemplar& b) {
+                return a.WorseThan(b);
+              });
+    tail.erase(std::unique(tail.begin(), tail.end(),
+                           [](const lat::Exemplar& a, const lat::Exemplar& b) {
+                             return a.trace_id == b.trace_id;
+                           }),
+               tail.end());
+    if (tail.size() > 8) tail.resize(8);
+
+    TablePrinter drill(
+        {"trace", "latency_ns", "class", "spans", "birth_ns (wnreplay seek)"});
+    for (const lat::Exemplar& ex : tail) {
+      std::size_t spans = 0;
+      for (std::uint32_t shard = 0; shard < world.shard_count(); ++shard) {
+        for (const telemetry::SpanRecord& s :
+             world.shard_network(shard).telemetry().spans().spans()) {
+          if (s.trace_id == ex.trace_id) ++spans;
+        }
+      }
+      drill.AddRow({HexTrace(ex.trace_id), std::to_string(ex.duration_ns),
+                    lat::ClassName(ex.cls), std::to_string(spans),
+                    std::to_string(ex.birth)});
+    }
+
+    telemetry::PublishLatStats(world.stats(), merged);
+    std::ofstream prom_out(out_dir + "/lat.prom");
+    std::ofstream report_out(out_dir + "/lat.txt");
+    if (!prom_out || !report_out) {
+      std::cerr << "wnscope: cannot write into " << out_dir << "\n";
+      rc = 1;
+    } else {
+      telemetry::WritePrometheusText(world.stats(), prom_out);
+      const std::string report = telemetry::FormatLatReport(merged);
+      report_out << report;
+      std::cout << report << "worst tail exemplars:\n";
+      drill.Print(std::cout);
+      std::cout << "wrote " << out_dir << "/lat.prom and " << out_dir
+                << "/lat.txt\n";
+    }
+  }
+  lat::SetEnabled(false);
+  return rc;
+}
+
 int RunInspect(const std::string& path) {
   std::vector<telemetry::SpanRecord> spans;
   if (!LoadSpans(path, spans)) return 1;
@@ -370,6 +478,7 @@ int main(int argc, char** argv) {
   if (cmd == "record") return RunRecord(argv[2]);
   if (cmd == "timeline") return RunTimeline(argv[2]);
   if (cmd == "mem") return RunMem(argv[2]);
+  if (cmd == "latency") return RunLatency(argv[2]);
   if (cmd == "inspect") return RunInspect(argv[2]);
   if (cmd == "filter") {
     return RunFilter(argv[2],
